@@ -1,0 +1,145 @@
+// Command heapcheck tortures an allocator with a randomized multithreaded
+// workload while running the structural integrity checker — the moral
+// equivalent of ptmalloc's MALLOC_CHECK_ debugging extension for this
+// reproduction.
+//
+// Exit status is non-zero if any invariant breaks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtmalloc/internal/bench"
+	"mtmalloc/internal/malloc"
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/xrand"
+)
+
+func main() {
+	profileName := flag.String("profile", "quad-xeon-500", "machine profile")
+	allocator := flag.String("allocator", "ptmalloc", "allocator kind: serial, ptmalloc, perthread")
+	threads := flag.Int("threads", 4, "worker threads")
+	ops := flag.Int("ops", 20000, "operations per thread")
+	seeds := flag.Int("seeds", 5, "number of seeds to torture")
+	maxSize := flag.Int("maxsize", 4000, "maximum request size")
+	checkEvery := flag.Int("check-every", 1000, "structural check period (ops)")
+	flag.Parse()
+
+	prof, err := bench.ProfileByName(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+	for seed := 1; seed <= *seeds; seed++ {
+		if err := torture(prof, malloc.Kind(*allocator), *threads, *ops, *maxSize, *checkEvery, uint64(seed)); err != nil {
+			fatal(fmt.Errorf("seed %d: %w", seed, err))
+		}
+		fmt.Printf("seed %d: ok\n", seed)
+	}
+	fmt.Println("heapcheck: all invariants held")
+}
+
+func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkEvery int, seed uint64) error {
+	w := bench.NewWorld(prof, seed, bench.WithAllocator(kind))
+	var checkErr error
+	err := w.Run(func(main *sim.Thread) {
+		inst, err := w.AddInstance(main)
+		if err != nil {
+			panic(err)
+		}
+		al, as := inst.Alloc, inst.AS
+		type obj struct {
+			p     uint64
+			n     uint32
+			stamp byte
+		}
+		var shared []obj // cross-thread mailbox
+		var ws []*sim.Thread
+		for i := 0; i < threads; i++ {
+			ws = append(ws, main.Spawn(fmt.Sprintf("torture-%d", i), func(t *sim.Thread) {
+				al.AttachThread(t)
+				defer al.DetachThread(t)
+				r := xrand.New(seed, uint64(t.ID()))
+				var local []obj
+				for j := 0; j < ops && checkErr == nil; j++ {
+					switch {
+					case len(local) > 0 && r.Intn(3) == 0:
+						k := r.Intn(len(local))
+						o := local[k]
+						if as.Read8(t, o.p) != o.stamp || as.Read8(t, o.p+uint64(o.n)-1) != o.stamp {
+							checkErr = fmt.Errorf("stamp corrupted at 0x%x size %d", o.p, o.n)
+							return
+						}
+						if err := al.Free(t, o.p); err != nil {
+							checkErr = err
+							return
+						}
+						local = append(local[:k], local[k+1:]...)
+					case len(shared) > 0 && r.Intn(4) == 0:
+						o := shared[len(shared)-1]
+						shared = shared[:len(shared)-1]
+						if err := al.Free(t, o.p); err != nil {
+							checkErr = err
+							return
+						}
+					default:
+						n := uint32(1 + r.Intn(maxSize))
+						p, err := al.Malloc(t, n)
+						if err != nil {
+							checkErr = err
+							return
+						}
+						stamp := byte(r.Intn(256))
+						as.Write8(t, p, stamp)
+						as.Write8(t, p+uint64(n)-1, stamp)
+						if r.Intn(2) == 0 {
+							local = append(local, obj{p, n, stamp})
+						} else {
+							shared = append(shared, obj{p, n, stamp})
+						}
+					}
+					if checkEvery > 0 && j%checkEvery == 0 {
+						if err := al.Check(); err != nil {
+							checkErr = err
+							return
+						}
+					}
+				}
+				for _, o := range local {
+					if err := al.Free(t, o.p); err != nil {
+						checkErr = err
+						return
+					}
+				}
+			}))
+		}
+		for _, x := range ws {
+			main.Join(x)
+		}
+		for _, o := range shared {
+			if err := al.Free(main, o.p); err != nil {
+				checkErr = err
+				return
+			}
+		}
+		if checkErr == nil {
+			checkErr = al.Check()
+		}
+		if checkErr == nil {
+			st := al.Stats()
+			if st.Heap.Mallocs != st.Heap.Frees {
+				checkErr = fmt.Errorf("leak: %d mallocs vs %d frees", st.Heap.Mallocs, st.Heap.Frees)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return checkErr
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "heapcheck:", err)
+	os.Exit(1)
+}

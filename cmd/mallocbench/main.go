@@ -1,0 +1,117 @@
+// Command mallocbench runs one microbenchmark configuration and prints the
+// result as text or CSV — the lab tool behind the tables in cmd/repro.
+//
+// Examples:
+//
+//	mallocbench -bench 1 -profile quad-xeon-500 -threads 4 -size 8192 -pairs 1000000
+//	mallocbench -bench 1 -profile sun-ultra-2x400 -threads 2 -processes
+//	mallocbench -bench 2 -profile k6-400 -threads 3 -rounds 8 -runs 5
+//	mallocbench -bench 3 -profile quad-xeon-500 -threads 4 -size 24 -aligned
+//	mallocbench -bench larson -threads 4 -allocator perthread
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtmalloc/internal/bench"
+	"mtmalloc/internal/malloc"
+)
+
+func main() {
+	which := flag.String("bench", "1", "benchmark: 1, 2, 3 or larson")
+	profileName := flag.String("profile", "quad-xeon-500", "machine profile")
+	threads := flag.Int("threads", 2, "worker threads")
+	processes := flag.Bool("processes", false, "benchmark 1: one process per worker")
+	size := flag.Uint("size", 512, "request size in bytes")
+	pairs := flag.Int("pairs", 1000000, "benchmark 1: malloc/free pairs per thread")
+	rounds := flag.Int("rounds", 4, "benchmark 2: thread-recreation rounds")
+	objects := flag.Int("objects", 10000, "benchmark 2: objects per chain")
+	writes := flag.Int64("writes", 100000000, "benchmark 3: writes per thread")
+	aligned := flag.Bool("aligned", false, "benchmark 3: cache-line aligned allocator")
+	runs := flag.Int("runs", 3, "repetitions")
+	seed := flag.Uint64("seed", 1, "base seed")
+	allocator := flag.String("allocator", "", "override allocator: serial, ptmalloc, perthread")
+	csv := flag.Bool("csv", false, "CSV output")
+	flag.Parse()
+
+	prof, err := bench.ProfileByName(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+	kind := malloc.Kind(*allocator)
+
+	var tab *bench.Table
+	switch *which {
+	case "1":
+		res, err := bench.RunBench1(bench.B1Config{
+			Profile: prof, Threads: *threads, Processes: *processes,
+			Size: uint32(*size), Pairs: *pairs, Runs: *runs, Seed: *seed, Allocator: kind,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		tab = &bench.Table{ID: "bench1", Title: fmt.Sprintf("%d threads x %d pairs of %dB on %s", *threads, *pairs, *size, prof.Name),
+			Columns: []string{"thread", "mean(s)", "stddev", "min", "max"}}
+		for i, s := range res.PerThread {
+			tab.AddRow(i+1, s.Mean, s.Stddev, s.Min, s.Max)
+		}
+		tab.Note("arenas at end of run 0: %d", res.Runs[0].ArenaCount)
+	case "2":
+		res, err := bench.RunBench2(bench.B2Config{
+			Profile: prof, Threads: *threads, Rounds: *rounds, Objects: *objects,
+			Size: uint32(*size), Replace: 0.5, Runs: *runs, Seed: *seed, Allocator: kind,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		tab = &bench.Table{ID: "bench2", Title: fmt.Sprintf("%d threads x %d rounds, %d objects of %dB on %s", *threads, *rounds, *objects, *size, prof.Name),
+			Columns: []string{"run", "minor faults", "arenas", "peak heap(KB)"}}
+		for i, r := range res.Runs {
+			tab.AddRow(i+1, r.MinorFaults, r.ArenaCount, r.HeapBytes/1024)
+		}
+		tab.Note("predictor mpf = %.1f; measured min %.0f avg %.1f max %.0f",
+			res.Predicted, res.Faults.Min, res.Faults.Mean, res.Faults.Max)
+	case "3":
+		res, err := bench.RunBench3(bench.B3Config{
+			Profile: prof, Threads: *threads, Size: uint32(*size), Writes: *writes,
+			Aligned: *aligned, Runs: *runs, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		tab = &bench.Table{ID: "bench3", Title: fmt.Sprintf("%d threads writing %dB objects, aligned=%v on %s", *threads, *size, *aligned, prof.Name),
+			Columns: []string{"run", "elapsed(s)", "shared lines"}}
+		for i, r := range res.Runs {
+			tab.AddRow(i+1, r.WallSeconds, r.SharedLines)
+		}
+	case "larson":
+		cfg := bench.DefaultLarson(prof)
+		cfg.Threads = *threads
+		cfg.Runs = *runs
+		cfg.Seed = *seed
+		res, err := bench.RunLarson(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tab = &bench.Table{ID: "larson", Title: fmt.Sprintf("Larson workload, %d threads on %s", *threads, prof.Name),
+			Columns: []string{"run", "throughput(ops/s)", "wall(s)", "faults", "arenas"}}
+		for i, r := range res.Runs {
+			tab.AddRow(i+1, r.Throughput, r.WallSeconds, r.MinorFaults, r.ArenaCount)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3 or larson)", *which))
+	}
+
+	if *csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Print(tab.Text())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mallocbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a simulated quad-Xeon machine, run four threads doing
+// malloc/free against glibc-style ptmalloc, and print what happened —
+// elapsed simulated time per thread, arena usage, and allocator statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtmalloc"
+)
+
+func main() {
+	prof := mtmalloc.QuadXeon500()
+	w := mtmalloc.NewWorld(prof, 42)
+
+	err := w.Run(func(main *mtmalloc.Thread) {
+		inst, err := w.AddInstance(main)
+		if err != nil {
+			log.Fatal(err)
+		}
+		al := inst.Alloc
+
+		const threads, pairs = 4, 100000
+		var workers []*mtmalloc.Thread
+		for i := 0; i < threads; i++ {
+			workers = append(workers, main.Spawn(fmt.Sprintf("worker-%d", i), func(t *mtmalloc.Thread) {
+				al.AttachThread(t)
+				defer al.DetachThread(t)
+				for j := 0; j < pairs; j++ {
+					p, err := al.Malloc(t, 512)
+					if err != nil {
+						log.Fatalf("malloc: %v", err)
+					}
+					// Touch the object like a real request handler would.
+					inst.AS.Write32(t, p, uint32(j))
+					if err := al.Free(t, p); err != nil {
+						log.Fatalf("free: %v", err)
+					}
+				}
+			}))
+		}
+		for i, wk := range workers {
+			main.Join(wk)
+			fmt.Printf("worker %d: %.3f simulated seconds for %d malloc/free pairs\n",
+				i, wk.ElapsedSeconds(), pairs)
+		}
+
+		st := al.Stats()
+		fmt.Printf("\nallocator: %s\n", al.Name())
+		fmt.Printf("arenas created: %d (threads spread across them via trylock)\n", st.ArenaCount)
+		fmt.Printf("mallocs=%d frees=%d binHits=%d topAllocs=%d splits=%d coalesces=%d\n",
+			st.Heap.Mallocs, st.Heap.Frees, st.Heap.BinHits, st.Heap.TopAllocs,
+			st.Heap.Splits, st.Heap.Coalesces)
+		vs := inst.AS.Stats()
+		fmt.Printf("vm: %d minor faults, %d sbrk calls, %d mmap calls, %d KB peak mapped\n",
+			vs.MinorFaults, vs.SbrkCalls, vs.MmapCalls, vs.PeakMapped/1024)
+		if err := al.Check(); err != nil {
+			log.Fatalf("heap integrity: %v", err)
+		}
+		fmt.Println("heap integrity: ok")
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

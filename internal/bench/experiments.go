@@ -1,0 +1,352 @@
+package bench
+
+import (
+	"fmt"
+
+	"mtmalloc/internal/stats"
+)
+
+// Options control experiment execution. Scale multiplies benchmark 1's
+// 10-million-pair loop (benchmarks 2 and 3 always run at full size: their
+// cost does not depend on a hot loop). Results are rescaled to full count,
+// and every table notes when scaling was applied.
+type Options struct {
+	Scale float64
+	Seed  uint64
+}
+
+// FullPairs is the paper's benchmark 1 iteration count.
+const FullPairs = 10_000_000
+
+func (o Options) pairs() int {
+	if o.Scale <= 0 || o.Scale >= 1 {
+		return FullPairs
+	}
+	p := int(float64(FullPairs) * o.Scale)
+	if p < 20000 {
+		p = 20000
+	}
+	return p
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Experiment binds a paper table/figure to its reproduction code.
+type Experiment struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Run        func(Options) (*Table, error)
+}
+
+// All returns the experiment registry in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"S0", "Single-thread calibration scalars", "23.28s PPro / 6.05s Ultra / 10.39s Xeon / 2.10s bench3", ExpScalars},
+		{"T1", "Table 1: two threads vs two processes, dual PPro, 512B", "threads ~26.0s vs processes ~23.3s (~10% tax)", ExpTable1},
+		{"F1", "Figure 1: elapsed vs threads 1-6, dual PPro, 8192B", "linear, slope m/n (m=23s, n=2)", ExpFigure1},
+		{"F2", "Figure 2: elapsed vs threads to 64, dual PPro, 4100B", "stays linear far past CPU count", ExpFigure2},
+		{"T2", "Table 2: two threads vs two processes, Solaris", "threads 54.3s vs processes 6.05s (~9x)", ExpTable2},
+		{"F3", "Figure 3: elapsed vs threads 1-5, Solaris, 8192B", "about 20x a single thread at 5 threads", ExpFigure3},
+		{"T3", "Table 3: two threads vs two processes, quad Xeon, 512B", "threads 12.39s vs processes 10.39s (~20% tax)", ExpTable3},
+		{"F4", "Figure 4: elapsed vs threads 1-6, quad Xeon, 8192B", "jumps past 1 thread and past 4 threads", ExpFigure4},
+		{"T4", "Table 4: run variance, 3 threads, quad Xeon, 8192B", "bimodal 12.6s vs 14.8s (cache sloshing)", ExpTable4},
+		{"F5", "Figure 5: minor faults vs rounds, 1 thread, K6", "flat, matches mpf=14+1.1tr+127.6t", ExpFigure5},
+		{"F6", "Figure 6: minor faults vs rounds, 3 threads, K6", "min 399+3/round; 25-50% min-max spread", ExpFigure6},
+		{"F7", "Figure 7: minor faults vs rounds, 7 threads, K6", "spread narrows to 9-18%", ExpFigure7},
+		{"F8", "Figure 8: minor faults vs rounds 10-80, 7 threads, quad Xeon", "slope tracks predictor, near-constant offset", ExpFigure8},
+		{"F9", "Figure 9: false sharing, 2 threads, sizes 3-52", "aligned flat ~2.1s; normal up to >2x slower", expFigure9},
+		{"F10", "Figure 10: false sharing, 3 threads", "same, three-way", expFigure10},
+		{"F11", "Figure 11: false sharing, 4 threads", "up to 4x slowdowns", expFigure11},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// --- scalars ---
+
+// ExpScalars reproduces the paper's single-thread timings.
+func ExpScalars(o Options) (*Table, error) {
+	t := &Table{ID: "S0", Title: "single-thread scalars",
+		Columns: []string{"measurement", "measured(s)", "paper(s)", "delta"}}
+	pairs := o.pairs()
+	add := func(name string, prof Profile, size uint32, want float64) error {
+		r, err := RunBench1(B1Config{Profile: prof, Threads: 1, Size: size, Pairs: pairs, Runs: 3, Seed: o.seed()})
+		if err != nil {
+			return err
+		}
+		got := ScaleSeconds(r.All.Mean, pairs, FullPairs)
+		t.AddRow(name, got, want, ratio(got, want))
+		return nil
+	}
+	if err := add("ppro 512B 10M pairs", DualPPro200(), 512, PaperScalars.PPro512); err != nil {
+		return nil, err
+	}
+	if err := add("ultra 512B 10M pairs", SunUltra2x400(), 512, PaperScalars.Ultra512); err != nil {
+		return nil, err
+	}
+	if err := add("xeon 512B 10M pairs", QuadXeon500(), 512, PaperScalars.Xeon512); err != nil {
+		return nil, err
+	}
+	r3, err := RunBench3(B3Config{Profile: QuadXeon500(), Threads: 1, Size: 16, Writes: 100_000_000, Runs: 3, Seed: o.seed()})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("xeon bench3 100M writes", r3.Wall.Mean, PaperScalars.Bench3Single, ratio(r3.Wall.Mean, PaperScalars.Bench3Single))
+	noteScale(t, o)
+	return t, nil
+}
+
+// --- thread-vs-process tables ---
+
+func threadVsProcess(o Options, prof Profile, want struct {
+	Thread1, Thread2, Process1, Process2 float64
+}, id, title string) (*Table, error) {
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"mode", "thread", "measured(s)", "stddev", "paper(s)", "delta"}}
+	pairs := o.pairs()
+	th, err := RunBench1(B1Config{Profile: prof, Threads: 2, Size: 512, Pairs: pairs, Runs: 3, Seed: o.seed()})
+	if err != nil {
+		return nil, err
+	}
+	pr, err := RunBench1(B1Config{Profile: prof, Threads: 2, Processes: true, Size: 512, Pairs: pairs, Runs: 3, Seed: o.seed()})
+	if err != nil {
+		return nil, err
+	}
+	wantTh := []float64{want.Thread1, want.Thread2}
+	wantPr := []float64{want.Process1, want.Process2}
+	for i, s := range th.PerThread {
+		got := ScaleSeconds(s.Mean, pairs, FullPairs)
+		t.AddRow("threads (shared heap)", i+1, got, ScaleSeconds(s.Stddev, pairs, FullPairs), wantTh[i], ratio(got, wantTh[i]))
+	}
+	for i, s := range pr.PerThread {
+		got := ScaleSeconds(s.Mean, pairs, FullPairs)
+		t.AddRow("processes (own heaps)", i+1, got, ScaleSeconds(s.Stddev, pairs, FullPairs), wantPr[i], ratio(got, wantPr[i]))
+	}
+	gotRatio := th.All.Mean / pr.All.Mean
+	wantRatio := (want.Thread1 + want.Thread2) / (want.Process1 + want.Process2)
+	t.Note("thread/process ratio: measured %.3f, paper %.3f", gotRatio, wantRatio)
+	noteScale(t, o)
+	return t, nil
+}
+
+// ExpTable1 reproduces Table 1 (dual PPro).
+func ExpTable1(o Options) (*Table, error) {
+	return threadVsProcess(o, DualPPro200(), PaperTable1, "T1", "two threads vs two processes, dual PPro 200, 512B")
+}
+
+// ExpTable2 reproduces Table 2 (Solaris).
+func ExpTable2(o Options) (*Table, error) {
+	return threadVsProcess(o, SunUltra2x400(), PaperTable2, "T2", "two threads vs two processes, Sun Ultra 2x400 (single-lock allocator), 512B")
+}
+
+// ExpTable3 reproduces Table 3 (quad Xeon).
+func ExpTable3(o Options) (*Table, error) {
+	return threadVsProcess(o, QuadXeon500(), PaperTable3, "T3", "two threads vs two processes, quad Xeon 500, 512B")
+}
+
+// ExpTable4 reproduces Table 4: per-thread elapsed times over five runs of
+// the 3-thread 8192-byte loop, looking for the bimodal distribution.
+func ExpTable4(o Options) (*Table, error) {
+	t := &Table{ID: "T4", Title: "per-run variance, 3 threads, quad Xeon, 8192B",
+		Columns: []string{"run", "thread1(s)", "thread2(s)", "thread3(s)"}}
+	pairs := o.pairs()
+	r, err := RunBench1(B1Config{Profile: QuadXeon500(), Threads: 3, Size: 8192, Pairs: pairs, Runs: 5, Seed: o.seed()})
+	if err != nil {
+		return nil, err
+	}
+	hist := stats.NewHistogram(10, 20, 20)
+	for i, run := range r.Runs {
+		var cells []interface{}
+		cells = append(cells, i+1)
+		for _, s := range run.PerThread {
+			v := ScaleSeconds(s, pairs, FullPairs)
+			hist.Add(v)
+			cells = append(cells, v)
+		}
+		t.AddRow(cells...)
+	}
+	modes := hist.Modes(0.2)
+	var centers []string
+	for _, mi := range modes {
+		centers = append(centers, fmt.Sprintf("%.1fs", hist.BucketCenter(mi)))
+	}
+	t.Note("paper: twelve values near 12.58s, three near 14.85s (one slow thread per run)")
+	t.Note("measured modes (>=20%% of samples): %v", centers)
+	noteScale(t, o)
+	return t, nil
+}
+
+// --- scalability figures ---
+
+func threadSweep(o Options, prof Profile, size uint32, threadCounts []int, runs int, want func(int) float64, id, title string) (*Table, error) {
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"threads", "measured(s)", "stddev", "paper(s)", "delta"}}
+	pairs := o.pairs()
+	var xs, ys []float64
+	for _, n := range threadCounts {
+		r, err := RunBench1(B1Config{Profile: prof, Threads: n, Size: size, Pairs: pairs, Runs: runs, Seed: o.seed()})
+		if err != nil {
+			return nil, err
+		}
+		got := ScaleSeconds(r.All.Mean, pairs, FullPairs)
+		sd := ScaleSeconds(r.All.Stddev, pairs, FullPairs)
+		w := want(n)
+		t.AddRow(n, got, sd, w, ratio(got, w))
+		xs = append(xs, float64(n))
+		ys = append(ys, got)
+	}
+	if len(xs) >= 2 {
+		fit := stats.LinearFit(xs, ys)
+		t.Note("linear fit: slope %.2f s/thread (R2=%.3f)", fit.Slope, fit.R2)
+	}
+	noteScale(t, o)
+	return t, nil
+}
+
+// ExpFigure1 reproduces Figure 1.
+func ExpFigure1(o Options) (*Table, error) {
+	return threadSweep(o, DualPPro200(), 8192, []int{1, 2, 3, 4, 5, 6}, 5, PaperFigure1,
+		"F1", "elapsed vs threads, dual PPro, 8192B (paper values from slope m/n)")
+}
+
+// ExpFigure2 reproduces Figure 2.
+func ExpFigure2(o Options) (*Table, error) {
+	return threadSweep(o, DualPPro200(), 4100, []int{1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64}, 2, PaperFigure2,
+		"F2", "elapsed vs threads to 64, dual PPro, 4100B (paper values from slope m/n)")
+}
+
+// ExpFigure3 reproduces Figure 3.
+func ExpFigure3(o Options) (*Table, error) {
+	return threadSweep(o, SunUltra2x400(), 8192, []int{1, 2, 3, 4, 5}, 5,
+		func(n int) float64 { return PaperFigure3[n] },
+		"F3", "elapsed vs threads, Solaris single-lock allocator, 8192B (paper values read off plot)")
+}
+
+// ExpFigure4 reproduces Figure 4.
+func ExpFigure4(o Options) (*Table, error) {
+	return threadSweep(o, QuadXeon500(), 8192, []int{1, 2, 3, 4, 5, 6}, 5,
+		func(n int) float64 { return PaperFigure4[n] },
+		"F4", "elapsed vs threads, quad Xeon, 8192B (paper values read off plot)")
+}
+
+// --- benchmark 2 figures ---
+
+func roundsSweep(o Options, prof Profile, threads int, rounds []int, runs int, id, title string) (*Table, error) {
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"rounds", "min", "avg", "max", "predicted", "spread", "arenas(max)"}}
+	for _, r := range rounds {
+		cfg := DefaultB2(prof)
+		cfg.Threads = threads
+		cfg.Rounds = r
+		cfg.Runs = runs
+		cfg.Seed = o.seed()
+		res, err := RunBench2(cfg)
+		if err != nil {
+			return nil, err
+		}
+		arenas := 0
+		for _, rr := range res.Runs {
+			if rr.ArenaCount > arenas {
+				arenas = rr.ArenaCount
+			}
+		}
+		t.AddRow(r, res.Faults.Min, res.Faults.Mean, res.Faults.Max, res.Predicted,
+			fmt.Sprintf("%.0f%%", 100*res.Faults.RelSpread()), arenas)
+	}
+	t.Note("predictor: mpf = 14 + 1.1*t*r + 127.6*t (t=%d)", threads)
+	return t, nil
+}
+
+// ExpFigure5 reproduces Figure 5 (single thread: no leak, matches predictor).
+func ExpFigure5(o Options) (*Table, error) {
+	return roundsSweep(o, K6_400(), 1, []int{1, 2, 3, 4, 5, 6, 7, 8}, 5,
+		"F5", "minor faults vs rounds, 1 thread, K6-400")
+}
+
+// ExpFigure6 reproduces Figure 6 (3 threads: leakage variance appears).
+func ExpFigure6(o Options) (*Table, error) {
+	return roundsSweep(o, K6_400(), 3, []int{1, 2, 3, 4, 5, 6, 7, 8}, 5,
+		"F6", "minor faults vs rounds, 3 threads, K6-400")
+}
+
+// ExpFigure7 reproduces Figure 7 (7 threads: spread narrows).
+func ExpFigure7(o Options) (*Table, error) {
+	return roundsSweep(o, K6_400(), 7, []int{1, 2, 3, 4, 5, 6, 7, 8}, 5,
+		"F7", "minor faults vs rounds, 7 threads, K6-400")
+}
+
+// ExpFigure8 reproduces Figure 8 (7 threads on 4 CPUs, long runs).
+func ExpFigure8(o Options) (*Table, error) {
+	t, err := roundsSweep(o, QuadXeon500(), 7, []int{10, 20, 30, 40, 50, 60, 70, 80}, 5,
+		"F8", "minor faults vs rounds, 7 threads, quad Xeon")
+	if err != nil {
+		return nil, err
+	}
+	t.Note("paper: measured average tracks the predictor's slope at a near-constant offset (~%.0f faults read off plot)", PaperFigure8Offset)
+	return t, nil
+}
+
+// --- benchmark 3 figures ---
+
+func falseSharingSweep(o Options, threads int, id, title string) (*Table, error) {
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"size(B)", "aligned(s)", "normal avg(s)", "normal max(s)", "shared lines(max)"}}
+	worstNormal := 0.0
+	for size := uint32(3); size <= 52; size += 7 {
+		al, err := RunBench3(B3Config{Profile: QuadXeon500(), Threads: threads, Size: size,
+			Writes: 100_000_000, Aligned: true, Runs: 3, Seed: o.seed()})
+		if err != nil {
+			return nil, err
+		}
+		no, err := RunBench3(B3Config{Profile: QuadXeon500(), Threads: threads, Size: size,
+			Writes: 100_000_000, Aligned: false, Runs: 5, Seed: o.seed()})
+		if err != nil {
+			return nil, err
+		}
+		shared := 0
+		for _, r := range no.Runs {
+			if r.SharedLines > shared {
+				shared = r.SharedLines
+			}
+		}
+		if no.Wall.Max > worstNormal {
+			worstNormal = no.Wall.Max
+		}
+		t.AddRow(size, al.Wall.Mean, no.Wall.Mean, no.Wall.Max, shared)
+	}
+	t.Note("paper: aligned flat at ~2.1s; normal reaches ~%.1fs when objects share lines", Bench3PaperWorst[threads])
+	t.Note("measured worst normal: %.2fs", worstNormal)
+	return t, nil
+}
+
+func expFigure9(o Options) (*Table, error) {
+	return falseSharingSweep(o, 2, "F9", "false sharing, 2 threads, quad Xeon, sizes 3-52B")
+}
+
+func expFigure10(o Options) (*Table, error) {
+	return falseSharingSweep(o, 3, "F10", "false sharing, 3 threads, quad Xeon, sizes 3-52B")
+}
+
+func expFigure11(o Options) (*Table, error) {
+	return falseSharingSweep(o, 4, "F11", "false sharing, 4 threads, quad Xeon, sizes 3-52B")
+}
+
+func noteScale(t *Table, o Options) {
+	if o.pairs() != FullPairs {
+		t.Note("benchmark-1 loop ran %d pairs and was rescaled to the paper's 10M (steady-state linearity)", o.pairs())
+	}
+}

@@ -1,0 +1,77 @@
+package bench
+
+// This file embeds the published numbers the reproduction is compared
+// against. Table values are verbatim from the paper; figure values are read
+// off the plots and marked approximate.
+
+// PaperScalars are the single-thread calibration targets (§5).
+var PaperScalars = struct {
+	PPro512      float64 // 10M 512B pairs, dual PPro 200
+	Ultra512     float64 // 10M 512B pairs, Sun Ultra 2x400, Solaris 2.6
+	Xeon512      float64 // 10M 512B pairs, quad Xeon 500
+	Bench3Single float64 // 100M front+back writes, quad Xeon 500
+}{23.280357, 6.0535318, 10.393376, 2.102}
+
+// PaperTable1 is Table 1 (dual PPro): two threads sharing a heap vs two
+// processes, seconds.
+var PaperTable1 = struct {
+	Thread1, Thread2   float64
+	Process1, Process2 float64
+}{26.040385, 26.063408, 23.309635, 23.314431}
+
+// PaperTable2 is Table 2 (Solaris).
+var PaperTable2 = struct {
+	Thread1, Thread2   float64
+	Process1, Process2 float64
+}{54.272971, 54.407517, 6.024991, 6.053607}
+
+// PaperTable3 is Table 3 (4-way Linux).
+var PaperTable3 = struct {
+	Thread1, Thread2   float64
+	Process1, Process2 float64
+}{12.393250, 12.397936, 10.394361, 10.395771}
+
+// PaperTable4 lists the fifteen elapsed times (5 runs x 3 threads) of the
+// 3-thread 8192-byte run on the 4-way Xeon; the bimodal 12.6/14.8 pattern
+// is the "cache sloshing" observation.
+var PaperTable4 = []float64{
+	12.587744, 12.587753, 14.862689,
+	12.578893, 12.577891, 14.844941,
+	12.579065, 12.578305, 14.841121,
+	12.576630, 12.577823, 14.836253,
+	12.584923, 12.584535, 14.856683,
+}
+
+// PaperFigure1 approximates Figure 1 (dual PPro, 8192B): elapsed vs thread
+// count follows slope m/n with m=23.28s, n=2.
+func PaperFigure1(threads int) float64 {
+	if threads <= 1 {
+		return 23.28
+	}
+	return 23.28 * float64(threads) / 2
+}
+
+// PaperFigure2 approximates Figure 2 (dual PPro, 4100B, up to 64 threads):
+// linear in thread count at slope m/n.
+func PaperFigure2(threads int) float64 {
+	return PaperFigure1(threads)
+}
+
+// PaperFigure3 approximates Figure 3 (Solaris, 8192B): about twenty times a
+// single-thread run at five threads, read off the plot.
+var PaperFigure3 = map[int]float64{1: 6.05, 2: 50, 3: 75, 4: 100, 5: 121}
+
+// PaperFigure4 approximates Figure 4 (4-way Xeon, 8192B), read off the
+// plot: flat-ish to 4 threads (with the Table 3/4 taxes), then the
+// timeslicing jump past the CPU count.
+var PaperFigure4 = map[int]float64{1: 10.39, 2: 12.4, 3: 13.3, 4: 13.5, 5: 19, 6: 21}
+
+// PaperFigure8Offset is the rough constant gap between measured average
+// minor faults and the predictor in Figure 8 (7 threads, 4 CPUs), read off
+// the plot.
+const PaperFigure8Offset = 500.0
+
+// Bench3PaperWorst approximates the worst normal-mode elapsed seconds in
+// Figures 9-11: cache-line sharing at least doubles, sometimes quadruples,
+// the 2.1-second aligned time.
+var Bench3PaperWorst = map[int]float64{2: 8.0, 3: 9.0, 4: 9.5}

@@ -1,0 +1,219 @@
+// Package bench implements the paper's three microbenchmarks, the machine
+// profiles of its four test hosts, a Larson-style workload generator, and
+// the experiment registry that regenerates every table and figure.
+package bench
+
+import (
+	"fmt"
+
+	"mtmalloc/internal/cache"
+	"mtmalloc/internal/heap"
+	"mtmalloc/internal/malloc"
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/vm"
+)
+
+// Profile describes one of the paper's benchmark hosts: CPU count and
+// clock, cache geometry, and the calibrated cost constants. The calibration
+// targets are the paper's own single-thread scalars (see
+// TestCalibration* in internal/bench/bench_test.go); everything multithreaded is then
+// a prediction of the model.
+type Profile struct {
+	Name     string
+	CPUs     int
+	ClockMHz float64
+	// LineShift: log2 of the cache line size (5 = 32 bytes, the L1 line of
+	// the P6 and UltraSPARC-II era).
+	LineShift uint
+
+	SimCosts   sim.Costs
+	CacheCosts cache.Costs
+	VMCosts    vm.Costs
+	AllocCosts malloc.CostParams
+
+	// Allocator is the platform's default allocator design.
+	Allocator malloc.Kind
+	// HeapParams are the platform allocator's tunables.
+	HeapParams heap.Params
+
+	// Bench3LoopWork is the non-memory work per write-loop iteration of
+	// benchmark 3 (loop control and address arithmetic).
+	Bench3LoopWork int64
+
+	// BootstrapPages models program + C library startup faults (the
+	// constant term of benchmark 2's fault predictor).
+	BootstrapPages int
+}
+
+// DualPPro200 is the paper's first host: dual 200 MHz Pentium Pro, Red Hat
+// 5.1, glibc 2.0.6, kernel 2.2.0-pre4. Calibration target: 10 M
+// malloc/free pairs of 512 bytes in 23.28 s single-threaded.
+func DualPPro200() Profile {
+	p := Profile{
+		Name:      "dual-ppro-200",
+		CPUs:      2,
+		ClockMHz:  200,
+		LineShift: 5,
+		SimCosts: sim.Costs{
+			ContextSwitch:   3000,
+			ThreadSpawn:     50000,
+			JoinCost:        2000,
+			MutexAtomic:     18,
+			MutexHandoff:    500,
+			MutexHotWindow:  200000,
+			MutexMaxWait:    4000,
+			DeschedResidual: 2500,
+			SpawnJitter:     4000,
+		},
+		CacheCosts: cache.Costs{Hit: 2, MissMemory: 35, MissRemote: 55, Upgrade: 10},
+		VMCosts:    vm.Costs{Syscall: 600, KernelHold: 800, PageFault: 1400},
+		AllocCosts: malloc.CostParams{
+			WorkMalloc: 190,
+			WorkFree:   154,
+			TSDRead:    8,
+			// Charged per operation; a pair pays SharedTaxUnit*(s-1)/s
+			// twice, reproducing the ~12% thread-vs-process tax at s=2.
+			SharedTaxUnit:      55,
+			MainArenaSloshUnit: 0, // not observed on this host
+		},
+		Allocator:      malloc.KindPTMalloc,
+		HeapParams:     heap.DefaultParams(),
+		Bench3LoopWork: 6,
+		BootstrapPages: 10,
+	}
+	return p
+}
+
+// QuadXeon500 is the Intel SC450NX: four 500 MHz Pentium III Xeons, 512 KB
+// L2, Red Hat 6.1, kernel 2.2.13/14. Calibration targets: 10.39 s for the
+// single-thread pair loop; 2.102 s for benchmark 3's single-thread 100 M
+// writes.
+func QuadXeon500() Profile {
+	p := Profile{
+		Name:      "quad-xeon-500",
+		CPUs:      4,
+		ClockMHz:  500,
+		LineShift: 5,
+		SimCosts: sim.Costs{
+			ContextSwitch:   4000,
+			ThreadSpawn:     60000,
+			JoinCost:        2000,
+			MutexAtomic:     20,
+			MutexHandoff:    600,
+			MutexHotWindow:  250000,
+			MutexMaxWait:    4000,
+			DeschedResidual: 3000,
+			SpawnJitter:     5000,
+		},
+		CacheCosts: cache.Costs{Hit: 2, MissMemory: 45, MissRemote: 70, Upgrade: 12},
+		VMCosts:    vm.Costs{Syscall: 700, KernelHold: 900, PageFault: 1600},
+		AllocCosts: malloc.CostParams{
+			WorkMalloc: 208,
+			WorkFree:   178,
+			TSDRead:    10,
+			// ~19% thread-vs-process tax at s=2 (two charges per pair).
+			SharedTaxUnit: 100,
+			// Table 4's 12.6 s vs 14.8 s bimodality: the main-arena thread
+			// pays 2*57*(s-2) cycles per pair once a third thread joins.
+			MainArenaSloshUnit: 57,
+		},
+		Allocator:      malloc.KindPTMalloc,
+		HeapParams:     heap.DefaultParams(),
+		Bench3LoopWork: 7,
+		BootstrapPages: 10,
+	}
+	return p
+}
+
+// SunUltra2x400 is the two-CPU 400 MHz Sun Ultra AX-MP running Solaris 2.6
+// with its single-lock libc allocator. Calibration target: 6.05 s
+// single-thread; the two-thread collapse (54.3 s) is then produced by the
+// lock convoy model.
+func SunUltra2x400() Profile {
+	p := Profile{
+		Name:      "sun-ultra-2x400",
+		CPUs:      2,
+		ClockMHz:  400,
+		LineShift: 5,
+		SimCosts: sim.Costs{
+			ContextSwitch:   4000,
+			ThreadSpawn:     60000,
+			JoinCost:        2000,
+			MutexAtomic:     16,
+			MutexHandoff:    530, // wakeup + allocator metadata sloshing per handoff
+			MutexHotWindow:  400000,
+			MutexMaxWait:    4000,
+			DeschedResidual: 3000,
+			SpawnJitter:     5000,
+		},
+		CacheCosts: cache.Costs{Hit: 2, MissMemory: 40, MissRemote: 65, Upgrade: 10},
+		VMCosts:    vm.Costs{Syscall: 650, KernelHold: 850, PageFault: 1500},
+		AllocCosts: malloc.CostParams{
+			// The Solaris allocator is the fastest single-thread allocator
+			// in the paper (6 s at 400 MHz vs 10.4 s at 500 MHz).
+			WorkMalloc:    77,
+			WorkFree:      67,
+			TSDRead:       0, // no TSD: one heap
+			SharedTaxUnit: 0, // contention dominates; no separate tax
+		},
+		Allocator:      malloc.KindSerial,
+		HeapParams:     heap.DefaultParams(),
+		Bench3LoopWork: 5,
+		BootstrapPages: 10,
+	}
+	return p
+}
+
+// K6_400 is the custom-built 400 MHz AMD K6-2 workstation (Red Hat 6.0,
+// kernel 2.2.14) benchmark 2 runs on: a uniprocessor, so heap leakage there
+// comes from preemption inside allocator critical sections.
+func K6_400() Profile {
+	p := Profile{
+		Name:      "k6-400",
+		CPUs:      1,
+		ClockMHz:  400,
+		LineShift: 5,
+		SimCosts: sim.Costs{
+			ContextSwitch:   3500,
+			ThreadSpawn:     55000,
+			JoinCost:        2000,
+			MutexAtomic:     18,
+			MutexHandoff:    500,
+			MutexHotWindow:  200000,
+			MutexMaxWait:    4000,
+			DeschedResidual: 2500,
+			SpawnJitter:     4000,
+		},
+		CacheCosts: cache.Costs{Hit: 2, MissMemory: 40, MissRemote: 60, Upgrade: 10},
+		VMCosts:    vm.Costs{Syscall: 650, KernelHold: 850, PageFault: 1500},
+		AllocCosts: malloc.CostParams{
+			WorkMalloc: 170,
+			WorkFree:   140,
+			TSDRead:    8,
+		},
+		Allocator:      malloc.KindPTMalloc,
+		HeapParams:     heap.DefaultParams(),
+		Bench3LoopWork: 6,
+		BootstrapPages: 10,
+	}
+	return p
+}
+
+// Profiles returns every machine profile by name.
+func Profiles() map[string]Profile {
+	return map[string]Profile{
+		"dual-ppro-200":   DualPPro200(),
+		"quad-xeon-500":   QuadXeon500(),
+		"sun-ultra-2x400": SunUltra2x400(),
+		"k6-400":          K6_400(),
+	}
+}
+
+// ProfileByName looks a profile up, with a helpful error.
+func ProfileByName(name string) (Profile, error) {
+	p, ok := Profiles()[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("bench: unknown profile %q (have dual-ppro-200, quad-xeon-500, sun-ultra-2x400, k6-400)", name)
+	}
+	return p, nil
+}

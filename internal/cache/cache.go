@@ -1,0 +1,260 @@
+// Package cache models the CPU cache hierarchy of a small SMP at the level
+// the paper's benchmarks care about: which CPU's cache holds which line, in
+// what coherence state, and what each access costs in cycles.
+//
+// The model is a MESI-lite directory. Each line is either invalid
+// everywhere, shared (clean) by a set of CPUs, or owned (dirty) by exactly
+// one CPU. Capacity and conflict misses are not modelled — the paper's
+// workloads have footprints far below the 512 KB L2 caches of the test
+// machines — so every miss is a cold or coherence miss. That makes the model
+// exact for the false-sharing experiment (benchmark 3) and a good
+// approximation for allocator-metadata "cache sloshing".
+//
+// Lines are identified by a key that combines an address-space ID with the
+// line-aligned address, so two processes never generate coherence traffic
+// against one another even when their heaps use identical virtual addresses;
+// this is precisely the asymmetry benchmark 1 measures between the
+// two-thread and two-process configurations.
+package cache
+
+// Costs is the per-access cycle cost model.
+type Costs struct {
+	Hit        int64 // line present in this CPU's cache in a usable state
+	MissMemory int64 // cold miss or clean miss served from memory
+	MissRemote int64 // miss served by another CPU's dirty copy (cache-to-cache)
+	Upgrade    int64 // write to a line held shared: invalidate others, no data transfer
+}
+
+// DefaultCosts returns constants in the right ratios for a late-1990s
+// Intel SMP (L1 hit a couple of cycles, memory tens of cycles, dirty remote
+// transfers slightly worse than memory).
+func DefaultCosts() Costs {
+	return Costs{Hit: 2, MissMemory: 40, MissRemote: 60, Upgrade: 12}
+}
+
+// line is the directory entry for one cache line.
+type line struct {
+	owner   int8   // CPU with the dirty copy, -1 if none
+	sharers uint64 // bitmask of CPUs with a readable copy
+}
+
+// CPUStats aggregates access outcomes per CPU.
+type CPUStats struct {
+	Hits         uint64
+	ColdMisses   uint64
+	RemoteMisses uint64 // served from another CPU's dirty line
+	Upgrades     uint64
+	Invalidated  uint64 // lines this CPU lost to another CPU's write
+}
+
+// Model is a cache-coherence directory for one machine.
+type Model struct {
+	numCPUs int
+	shift   uint
+	costs   Costs
+
+	lines map[uint64]line
+	stats []CPUStats
+
+	// lastKey/lastVal is a one-entry lookup cache: allocator loops touch the
+	// same few lines repeatedly and this keeps the hot path off the map.
+	lastKey uint64
+	lastOK  bool
+	lastVal line
+
+	// OwnerFlips counts transitions of dirty ownership between distinct
+	// CPUs: the "ping-pong" statistic.
+	OwnerFlips uint64
+}
+
+// NewModel creates a directory for numCPUs CPUs and 2^lineShift-byte lines.
+func NewModel(numCPUs int, lineShift uint, costs Costs) *Model {
+	if numCPUs < 1 || numCPUs > 64 {
+		panic("cache: unsupported CPU count")
+	}
+	if lineShift < 4 || lineShift > 12 {
+		panic("cache: unreasonable line size")
+	}
+	return &Model{
+		numCPUs: numCPUs,
+		shift:   lineShift,
+		costs:   costs,
+		lines:   make(map[uint64]line, 1024),
+		stats:   make([]CPUStats, numCPUs),
+	}
+}
+
+// LineSize returns the modelled cache line size in bytes.
+func (m *Model) LineSize() uint64 { return 1 << m.shift }
+
+// Costs returns the cost model.
+func (m *Model) Costs() Costs { return m.costs }
+
+// Key builds a directory key from an address-space ID and a byte address.
+// Addresses are assumed to fit in 44 bits (the simulated machines are
+// 32-bit); the space ID occupies the high bits so distinct spaces can never
+// alias.
+func (m *Model) Key(space uint32, addr uint64) uint64 {
+	return uint64(space)<<44 | addr>>m.shift
+}
+
+// SameLine reports whether two addresses in one space fall on one line.
+func (m *Model) SameLine(a, b uint64) bool {
+	return a>>m.shift == b>>m.shift
+}
+
+func (m *Model) load(key uint64) line {
+	if m.lastOK && m.lastKey == key {
+		return m.lastVal
+	}
+	l, ok := m.lines[key]
+	if !ok {
+		l = line{owner: -1}
+	}
+	m.lastKey, m.lastVal, m.lastOK = key, l, true
+	return l
+}
+
+func (m *Model) store(key uint64, l line) {
+	m.lines[key] = l
+	m.lastKey, m.lastVal, m.lastOK = key, l, true
+}
+
+// Access charges one read or write by cpu against the line identified by
+// key and returns its cost in cycles, updating directory state.
+func (m *Model) Access(cpu int, key uint64, write bool) int64 {
+	l := m.load(key)
+	bit := uint64(1) << uint(cpu)
+	st := &m.stats[cpu]
+
+	if write {
+		switch {
+		case l.owner == int8(cpu):
+			st.Hits++
+			return m.costs.Hit
+		case l.owner >= 0:
+			// Another CPU has the dirty copy: fetch it and take ownership.
+			st.RemoteMisses++
+			m.stats[l.owner].Invalidated++
+			m.OwnerFlips++
+			m.store(key, line{owner: int8(cpu), sharers: bit})
+			return m.costs.MissRemote
+		case l.sharers == bit:
+			// We have the only clean copy: silent upgrade still costs a bus
+			// transaction on this era of hardware.
+			st.Upgrades++
+			m.store(key, line{owner: int8(cpu), sharers: bit})
+			return m.costs.Upgrade
+		case l.sharers&bit != 0:
+			// We share it with others: invalidate them.
+			st.Upgrades++
+			m.chargeInvalidations(l.sharers &^ bit)
+			m.store(key, line{owner: int8(cpu), sharers: bit})
+			return m.costs.Upgrade
+		case l.sharers != 0:
+			// Others hold it clean, we do not: read-for-ownership from
+			// memory plus invalidations.
+			st.ColdMisses++
+			m.chargeInvalidations(l.sharers)
+			m.store(key, line{owner: int8(cpu), sharers: bit})
+			return m.costs.MissMemory
+		default:
+			st.ColdMisses++
+			m.store(key, line{owner: int8(cpu), sharers: bit})
+			return m.costs.MissMemory
+		}
+	}
+
+	// Read.
+	switch {
+	case l.owner == int8(cpu), l.owner < 0 && l.sharers&bit != 0:
+		st.Hits++
+		return m.costs.Hit
+	case l.owner >= 0:
+		// Dirty in another cache: cache-to-cache transfer, both end shared.
+		st.RemoteMisses++
+		m.OwnerFlips++
+		m.store(key, line{owner: -1, sharers: l.sharers | bit | 1<<uint(l.owner)})
+		return m.costs.MissRemote
+	default:
+		st.ColdMisses++
+		m.store(key, line{owner: -1, sharers: l.sharers | bit})
+		return m.costs.MissMemory
+	}
+}
+
+func (m *Model) chargeInvalidations(mask uint64) {
+	for c := 0; mask != 0; c++ {
+		if mask&1 != 0 {
+			m.stats[c].Invalidated++
+		}
+		mask >>= 1
+	}
+}
+
+// DropRange forgets directory state for [addr, addr+length) in the given
+// space; called when pages are unmapped so recycled addresses start cold.
+func (m *Model) DropRange(space uint32, addr, length uint64) {
+	if length == 0 {
+		return
+	}
+	first := m.Key(space, addr)
+	last := m.Key(space, addr+length-1)
+	for k := first; k <= last; k++ {
+		delete(m.lines, k)
+	}
+	m.lastOK = false
+}
+
+// Stats returns a copy of the per-CPU statistics.
+func (m *Model) Stats() []CPUStats {
+	out := make([]CPUStats, len(m.stats))
+	copy(out, m.stats)
+	return out
+}
+
+// TotalRemoteMisses sums dirty cache-to-cache transfers over all CPUs.
+func (m *Model) TotalRemoteMisses() uint64 {
+	var t uint64
+	for i := range m.stats {
+		t += m.stats[i].RemoteMisses
+	}
+	return t
+}
+
+// Writers returns how many distinct CPUs from the given list would write
+// the line containing addr, given each CPU writes the address pattern
+// described by addrsPerCPU. It is a helper for analytic compute phases.
+func Writers(m *Model, space uint32, lineAddr uint64, addrsPerCPU map[int][]uint64) int {
+	key := m.Key(space, lineAddr)
+	n := 0
+	for _, addrs := range addrsPerCPU {
+		for _, a := range addrs {
+			if m.Key(space, a) == key {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// SteadyWriteCost returns the expected per-write cost, in cycles, for a CPU
+// repeatedly writing a line that `writers` distinct CPUs write concurrently
+// at similar rates. With a single writer the line stays in Modified state
+// (pure hits); with more, every write in a round-robin interleaving finds
+// the line dirty in another cache and pays a remote transfer.
+//
+// This analytic form is what lets benchmark 3 advance 100-million-iteration
+// write loops in O(1) simulated events: the sharing topology is fixed
+// between allocation events, so the steady-state per-iteration cost is
+// constant.
+func (m *Model) SteadyWriteCost(writers int) int64 {
+	if writers <= 1 {
+		return m.costs.Hit
+	}
+	// Each write is preceded (w-1)/w of the time by another CPU's write in
+	// a fair interleaving; charge the remote transfer proportionally.
+	frac := float64(writers-1) / float64(writers)
+	return m.costs.Hit + int64(frac*float64(m.costs.MissRemote)+0.5)
+}

@@ -1,0 +1,227 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mtmalloc/internal/xrand"
+)
+
+func newTest() *Model { return NewModel(4, 5, DefaultCosts()) }
+
+func TestColdReadThenHit(t *testing.T) {
+	m := newTest()
+	k := m.Key(0, 0x1000)
+	if c := m.Access(0, k, false); c != m.costs.MissMemory {
+		t.Fatalf("cold read cost %d, want %d", c, m.costs.MissMemory)
+	}
+	if c := m.Access(0, k, false); c != m.costs.Hit {
+		t.Fatalf("second read cost %d, want hit", c)
+	}
+	st := m.Stats()[0]
+	if st.ColdMisses != 1 || st.Hits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestWriteThenWriteHit(t *testing.T) {
+	m := newTest()
+	k := m.Key(0, 0x40)
+	m.Access(1, k, true)
+	if c := m.Access(1, k, true); c != m.costs.Hit {
+		t.Fatalf("owned write cost %d, want hit", c)
+	}
+}
+
+func TestUpgradeFromSoleSharer(t *testing.T) {
+	m := newTest()
+	k := m.Key(0, 0x80)
+	m.Access(2, k, false) // cold read, sole clean copy
+	if c := m.Access(2, k, true); c != m.costs.Upgrade {
+		t.Fatalf("upgrade cost %d, want %d", c, m.costs.Upgrade)
+	}
+}
+
+func TestRemoteDirtyReadTransfers(t *testing.T) {
+	m := newTest()
+	k := m.Key(0, 0xc0)
+	m.Access(0, k, true) // cpu0 owns dirty
+	if c := m.Access(1, k, false); c != m.costs.MissRemote {
+		t.Fatalf("remote read cost %d, want %d", c, m.costs.MissRemote)
+	}
+	// Both now share it clean: reads hit on both.
+	if c := m.Access(0, k, false); c != m.costs.Hit {
+		t.Fatalf("previous owner read cost %d, want hit", c)
+	}
+	if c := m.Access(1, k, false); c != m.costs.Hit {
+		t.Fatalf("new sharer read cost %d, want hit", c)
+	}
+}
+
+func TestPingPongWrites(t *testing.T) {
+	m := newTest()
+	k := m.Key(0, 0x100)
+	m.Access(0, k, true)
+	flips := m.OwnerFlips
+	for i := 0; i < 10; i++ {
+		cpu := i % 2
+		c := m.Access(cpu, k, true)
+		if i == 0 && cpu == 0 {
+			continue
+		}
+		if c != m.costs.MissRemote && c != m.costs.Hit {
+			t.Fatalf("iteration %d cost %d", i, c)
+		}
+	}
+	if m.OwnerFlips < flips+9 {
+		t.Fatalf("OwnerFlips = %d, want alternating ownership", m.OwnerFlips)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	m := newTest()
+	k := m.Key(0, 0x140)
+	m.Access(0, k, false)
+	m.Access(1, k, false)
+	m.Access(2, k, false)
+	m.Access(3, k, true) // had no copy; others shared clean
+	st := m.Stats()
+	if st[0].Invalidated != 1 || st[1].Invalidated != 1 || st[2].Invalidated != 1 {
+		t.Fatalf("invalidations not charged: %+v", st)
+	}
+	// After the write, a read by 0 misses again.
+	if c := m.Access(0, k, false); c == m.costs.Hit {
+		t.Fatal("stale sharer still hit after invalidation")
+	}
+}
+
+func TestSpacesDoNotInterfere(t *testing.T) {
+	m := newTest()
+	a := m.Key(1, 0x2000)
+	b := m.Key(2, 0x2000)
+	if a == b {
+		t.Fatal("keys for distinct spaces collide")
+	}
+	m.Access(0, a, true)
+	m.Access(1, b, true)
+	// Each CPU still owns its own space's line: both write-hit.
+	if c := m.Access(0, a, true); c != m.costs.Hit {
+		t.Fatalf("space 1 lost ownership: cost %d", c)
+	}
+	if c := m.Access(1, b, true); c != m.costs.Hit {
+		t.Fatalf("space 2 lost ownership: cost %d", c)
+	}
+}
+
+func TestSameLine(t *testing.T) {
+	m := newTest()
+	if !m.SameLine(0x20, 0x3f) {
+		t.Fatal("0x20 and 0x3f should share a 32B line")
+	}
+	if m.SameLine(0x1f, 0x20) {
+		t.Fatal("0x1f and 0x20 must not share a line")
+	}
+}
+
+func TestDropRange(t *testing.T) {
+	m := newTest()
+	k := m.Key(0, 0x3000)
+	m.Access(0, k, true)
+	m.DropRange(0, 0x3000, 4096)
+	if c := m.Access(1, k, false); c != m.costs.MissMemory {
+		t.Fatalf("dropped line not cold: cost %d", c)
+	}
+}
+
+func TestSteadyWriteCost(t *testing.T) {
+	m := newTest()
+	if m.SteadyWriteCost(0) != m.costs.Hit || m.SteadyWriteCost(1) != m.costs.Hit {
+		t.Fatal("solo writer must pay hit cost")
+	}
+	two := m.SteadyWriteCost(2)
+	four := m.SteadyWriteCost(4)
+	if two <= m.costs.Hit {
+		t.Fatal("two writers must cost more than a hit")
+	}
+	if four <= two {
+		t.Fatal("more writers must not get cheaper")
+	}
+	if four > m.costs.Hit+m.costs.MissRemote {
+		t.Fatal("steady cost exceeds one remote transfer per write")
+	}
+}
+
+func TestWritersHelper(t *testing.T) {
+	m := newTest()
+	addrs := map[int][]uint64{
+		0: {0x100},        // line 8
+		1: {0x110},        // same line as cpu0
+		2: {0x140},        // line 10
+		3: {0x100, 0x190}, // touches line 8 too, plus line 12
+	}
+	if w := Writers(m, 0, 0x100, addrs); w != 3 {
+		t.Fatalf("Writers = %d, want 3", w)
+	}
+	if w := Writers(m, 0, 0x140, addrs); w != 1 {
+		t.Fatalf("Writers = %d, want 1", w)
+	}
+}
+
+// Property: after any access sequence, a line has at most one dirty owner,
+// and an owner is always in the sharer set implied by the state encoding.
+func TestSingleOwnerInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := newTest()
+		r := xrand.New(seed, 0)
+		keys := []uint64{m.Key(0, 0), m.Key(0, 32), m.Key(0, 64), m.Key(1, 0)}
+		for i := 0; i < 2000; i++ {
+			m.Access(r.Intn(4), keys[r.Intn(len(keys))], r.Intn(2) == 0)
+		}
+		for _, l := range m.lines {
+			if l.owner >= 0 {
+				if l.sharers != 1<<uint(l.owner) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cost of any single access is one of the four model constants.
+func TestCostsAreFromModel(t *testing.T) {
+	m := newTest()
+	r := xrand.New(7, 7)
+	valid := map[int64]bool{
+		m.costs.Hit: true, m.costs.MissMemory: true,
+		m.costs.MissRemote: true, m.costs.Upgrade: true,
+	}
+	for i := 0; i < 5000; i++ {
+		c := m.Access(r.Intn(4), m.Key(0, uint64(r.Intn(8))*32), r.Intn(2) == 0)
+		if !valid[c] {
+			t.Fatalf("access returned unknown cost %d", c)
+		}
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	m := newTest()
+	k := m.Key(0, 0x1000)
+	m.Access(0, k, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(0, k, true)
+	}
+}
+
+func BenchmarkAccessPingPong(b *testing.B) {
+	m := newTest()
+	k := m.Key(0, 0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(i%2, k, true)
+	}
+}

@@ -1,0 +1,505 @@
+package heap
+
+import (
+	"fmt"
+
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/vm"
+)
+
+// segment is one contiguous region of heap managed by an arena. The main
+// arena's first segment grows with sbrk; further segments (after an sbrk
+// failure, or for sub-arenas) are anonymous mappings. Only the last segment
+// carries the top chunk.
+type segment struct {
+	start, end uint64
+	mapped     bool // created by mmap (vs the brk segment)
+}
+
+// Stats counts arena activity.
+type Stats struct {
+	Mallocs      uint64
+	Frees        uint64
+	BinHits      uint64 // served from an exact small bin
+	BinScans     uint64 // served from a larger bin (with split)
+	TopAllocs    uint64 // carved from the top chunk
+	Splits       uint64
+	Coalesces    uint64
+	BinInserts   uint64
+	BinRemoves   uint64
+	Extends      uint64
+	Trims        uint64
+	MmapChunks   uint64
+	MunmapChunks uint64
+	GrowsInPlace uint64 // realloc satisfied by absorbing a neighbour
+	BytesInUse   uint64
+	PeakInUse    uint64
+}
+
+// Arena is one heap: a header (bins, binmap, top pointer) plus one or more
+// segments of chunk memory, protected by one mutex. The main arena lives in
+// the brk segment; sub-arenas (ptmalloc's contention-escape mechanism) live
+// in their own mappings.
+type Arena struct {
+	Index  int
+	IsMain bool
+	Lock   *sim.Mutex
+
+	as       *vm.AddressSpace
+	params   *Params
+	hdrBase  uint64
+	segments []segment
+	// mappedTotal tracks mmap'd segment bytes for the sub-arena size cap.
+	mappedTotal uint64
+
+	stats Stats
+}
+
+// NewMain creates the main arena for an address space: its header and heap
+// live in the brk segment, extended by sbrk.
+func NewMain(t *sim.Thread, as *vm.AddressSpace, params *Params) (*Arena, error) {
+	a := &Arena{
+		Index:  0,
+		IsMain: true,
+		Lock:   as.Machine().NewMutex("arena.0"),
+		as:     as,
+		params: params,
+	}
+	// One page for the header plus the first sliver of heap.
+	base, err := as.Sbrk(t, pageCeilI(hdrSize+4096))
+	if err != nil {
+		return nil, err
+	}
+	a.hdrBase = base
+	a.initBins(t)
+	first := a.alignFirstChunk(base + hdrSize)
+	a.segments = []segment{{start: first, end: as.Brk()}}
+	a.installTop(t, first, uint32(as.Brk()-first), true)
+	return a, nil
+}
+
+// NewSub creates a ptmalloc-style sub-arena in its own mapping.
+func NewSub(t *sim.Thread, as *vm.AddressSpace, params *Params, index int) (*Arena, error) {
+	a := &Arena{
+		Index:  index,
+		IsMain: false,
+		Lock:   as.Machine().NewMutex(fmt.Sprintf("arena.%d", index)),
+		as:     as,
+		params: params,
+	}
+	initial := uint64(params.SubArenaSize / 8)
+	if initial < 32*vm.PageSize {
+		initial = 32 * vm.PageSize
+	}
+	base, err := as.Mmap(t, initial, fmt.Sprintf("arena.%d", index))
+	if err != nil {
+		return nil, err
+	}
+	a.hdrBase = base
+	a.mappedTotal = initial
+	a.initBins(t)
+	first := a.alignFirstChunk(base + hdrSize)
+	a.segments = []segment{{start: first, end: base + initial, mapped: true}}
+	a.installTop(t, first, uint32(base+initial-first), true)
+	return a, nil
+}
+
+// alignFirstChunk offsets addr so the returned user pointer (chunk +
+// HeaderSz) honours the configured alignment.
+func (a *Arena) alignFirstChunk(addr uint64) uint64 {
+	align := uint64(a.params.Align)
+	if align < 8 {
+		align = 8
+	}
+	mis := (addr + HeaderSz) % align
+	if mis != 0 {
+		addr += align - mis
+	}
+	return addr
+}
+
+// installTop writes a top-chunk header at c with the given byte size.
+func (a *Arena) installTop(t *sim.Thread, c uint64, size uint32, prevInuse bool) {
+	w := size &^ FlagMask
+	if prevInuse {
+		w |= PrevInuse
+	}
+	a.setSizeWord(t, c, w)
+	a.as.Write32(t, a.hdrBase+topOff, uint32(c))
+}
+
+// top returns the current top chunk address.
+func (a *Arena) top(t *sim.Thread) uint64 {
+	return uint64(a.as.Read32(t, a.hdrBase+topOff))
+}
+
+// Contains reports whether addr falls in one of the arena's segments.
+// It is a Go-side index (ptmalloc's heap_for_ptr computes this from address
+// arithmetic; the lookup cost is charged by the caller).
+func (a *Arena) Contains(addr uint64) bool {
+	for _, s := range a.segments {
+		if addr >= s.start && addr < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a copy of the arena statistics.
+func (a *Arena) Stats() Stats { return a.stats }
+
+// AddressSpace returns the arena's backing address space.
+func (a *Arena) AddressSpace() *vm.AddressSpace { return a.as }
+
+// HeaderBase returns the simulated address of the arena header; the bench
+// harness uses it to reason about metadata cache-line placement.
+func (a *Arena) HeaderBase() uint64 { return a.hdrBase }
+
+// Malloc allocates a chunk for req bytes and returns the user address.
+// The caller must hold a.Lock.
+func (a *Arena) Malloc(t *sim.Thread, req uint32) (uint64, error) {
+	sz := a.params.Request2Size(req)
+	a.stats.Mallocs++
+
+	// Exact small-bin hit, then the neighbouring bin (whose chunks are at
+	// most 8 bytes larger — below the split threshold, dlmalloc uses them
+	// whole).
+	if IsSmallRequest(sz) {
+		idx := BinIndex(sz)
+		if c := a.takeLast(t, idx); c != 0 {
+			a.stats.BinHits++
+			return a.finishAlloc(t, c, a.chunkSize(t, c)), nil
+		}
+		if idx+1 < 64 { // next small bin: at most 8 bytes larger, use whole
+			if c := a.takeLast(t, idx+1); c != 0 {
+				a.stats.BinHits++
+				return a.finishAlloc(t, c, a.chunkSize(t, c)), nil
+			}
+		}
+	}
+
+	// Scan bins via the binmap for the best (smallest adequate) fit. Large
+	// requests start at their own bin (kept size-sorted, so the walk is
+	// best-fit); small requests already tried their two exact bins.
+	startIdx := BinIndex(sz)
+	if IsSmallRequest(sz) {
+		startIdx = BinIndex(sz) + 2
+	}
+	for idx := a.nextMarkedBin(t, startIdx); idx < NBins; idx = a.nextMarkedBin(t, idx+1) {
+		p := a.binPseudo(idx)
+		c := a.binFirst(t, idx)
+		for c != p {
+			csz := a.chunkSize(t, c)
+			if csz >= sz {
+				a.unlink(t, c)
+				if a.binEmpty(t, idx) {
+					a.clearBin(t, idx)
+				}
+				a.stats.BinScans++
+				return a.splitAndFinish(t, c, csz, sz), nil
+			}
+			c = a.fd(t, c)
+		}
+		// Stale binmap bit: every chunk was too small only happens for the
+		// request's own bin; larger bins always fit. Clear if truly empty.
+		if a.binEmpty(t, idx) {
+			a.clearBin(t, idx)
+		}
+	}
+
+	// Carve from the top chunk, extending the heap if needed.
+	for {
+		topC := a.top(t)
+		topSz := a.chunkSize(t, topC)
+		if topSz >= sz+MinChunk {
+			a.stats.TopAllocs++
+			newTop := topC + uint64(sz)
+			a.installTop(t, newTop, topSz-sz, true)
+			w := sz
+			if a.prevInuse(t, topC) {
+				w |= PrevInuse
+			}
+			a.setSizeWord(t, topC, w)
+			a.accountAlloc(uint64(sz))
+			return topC + HeaderSz, nil
+		}
+		if err := a.extend(t, sz); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// finishAlloc marks a bin-served chunk in use and returns its user address.
+func (a *Arena) finishAlloc(t *sim.Thread, c uint64, csz uint32) uint64 {
+	next := c + uint64(csz)
+	a.setPrevInuseBit(t, next, true)
+	a.accountAlloc(uint64(csz))
+	return c + HeaderSz
+}
+
+// splitAndFinish trims chunk c (size csz) to sz, binning the remainder when
+// it is big enough to stand alone.
+func (a *Arena) splitAndFinish(t *sim.Thread, c uint64, csz, sz uint32) uint64 {
+	rem := csz - sz
+	if rem >= MinChunk {
+		a.stats.Splits++
+		r := c + uint64(sz)
+		// The remainder follows an in-use chunk.
+		a.setSizeWord(t, r, rem|PrevInuse)
+		a.setPrevSize(t, r+uint64(rem), rem) // footer
+		a.frontlink(t, r, rem)
+		w := sz
+		if a.prevInuse(t, c) {
+			w |= PrevInuse
+		}
+		a.setSizeWord(t, c, w)
+		a.accountAlloc(uint64(sz))
+		return c + HeaderSz
+	}
+	return a.finishAlloc(t, c, csz)
+}
+
+func (a *Arena) accountAlloc(n uint64) {
+	a.stats.BytesInUse += n
+	if a.stats.BytesInUse > a.stats.PeakInUse {
+		a.stats.PeakInUse = a.stats.BytesInUse
+	}
+}
+
+// Free returns the chunk holding user address mem to the arena. The caller
+// must hold a.Lock and must have routed mem to the owning arena.
+func (a *Arena) Free(t *sim.Thread, mem uint64) error {
+	c := mem - HeaderSz
+	if !a.Contains(c) {
+		return fmt.Errorf("%w: 0x%x not in arena %d", ErrBadFree, mem, a.Index)
+	}
+	w := a.sizeWord(t, c)
+	sz := w &^ FlagMask
+	if w&IsMmapped != 0 {
+		return fmt.Errorf("%w: mmapped chunk routed to arena free", ErrBadFree)
+	}
+	if sz < MinChunk || c+uint64(sz) > a.segmentEndFor(c) {
+		return fmt.Errorf("%w: corrupt size %d at 0x%x", ErrBadFree, sz, c)
+	}
+	a.stats.Frees++
+	a.stats.BytesInUse -= uint64(sz)
+
+	// Backward coalesce.
+	if w&PrevInuse == 0 {
+		psz := a.prevSize(t, c)
+		p := c - uint64(psz)
+		a.unlink(t, p)
+		a.stats.Coalesces++
+		c = p
+		sz += psz
+	}
+
+	next := c + uint64(sz)
+	if next == a.top(t) {
+		// Merge into top.
+		topSz := a.chunkSize(t, next)
+		a.installTop(t, c, sz+topSz, a.prevInuse(t, c))
+		a.maybeTrim(t)
+		return nil
+	}
+
+	nsz := a.chunkSize(t, next)
+	nextInuse := a.prevInuse(t, next+uint64(nsz))
+	if !nextInuse {
+		// Forward coalesce (next is free and not top).
+		a.unlink(t, next)
+		a.stats.Coalesces++
+		sz += nsz
+		next = c + uint64(sz)
+	}
+
+	// Bin the (possibly merged) chunk: fix header, footer and neighbour P.
+	w = sz
+	if a.prevInuse(t, c) {
+		w |= PrevInuse
+	}
+	a.setSizeWord(t, c, w)
+	a.setPrevSize(t, next, sz)
+	a.setPrevInuseBit(t, next, false)
+	a.frontlink(t, c, sz)
+	return nil
+}
+
+// segmentEndFor returns the end of the segment containing c (0 if none).
+func (a *Arena) segmentEndFor(c uint64) uint64 {
+	for _, s := range a.segments {
+		if c >= s.start && c < s.end {
+			return s.end
+		}
+	}
+	return 0
+}
+
+// extend grows the heap so the top chunk can satisfy a request of sz bytes.
+func (a *Arena) extend(t *sim.Thread, sz uint32) error {
+	a.stats.Extends++
+	need := pageCeilI(int64(sz) + MinChunk + int64(a.params.TopPad) + 64)
+
+	if a.IsMain {
+		if a.topContiguous() {
+			if _, err := a.as.Sbrk(t, need); err == nil {
+				topC := a.top(t)
+				topSz := a.chunkSize(t, topC)
+				a.installTop(t, topC, topSz+uint32(need), a.prevInuse(t, topC))
+				a.segments[len(a.segments)-1].end = a.as.Brk()
+				return nil
+			}
+		}
+		// sbrk failed, or someone else moved the brk from under us: only
+		// glibc >= 2.1.3 retries the extension with mmap (§3 of the paper).
+		if !a.params.RetrySbrkWithMmap {
+			return fmt.Errorf("%w: sbrk cannot extend the heap", ErrNoMemory)
+		}
+	}
+
+	mapLen := uint64(need)
+	if !a.IsMain {
+		grow := uint64(a.params.SubArenaSize / 8)
+		if mapLen < grow {
+			mapLen = grow
+		}
+		if a.mappedTotal+mapLen > uint64(a.params.SubArenaSize) {
+			return ErrArenaFull
+		}
+	} else if mapLen < 64*vm.PageSize {
+		mapLen = 64 * vm.PageSize
+	}
+	base, err := a.as.Mmap(t, mapLen, fmt.Sprintf("arena.%d.seg%d", a.Index, len(a.segments)))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoMemory, err)
+	}
+	a.mappedTotal += mapLen
+	a.abandonTop(t)
+	first := a.alignFirstChunk(base)
+	a.segments = append(a.segments, segment{start: first, end: base + mapLen, mapped: true})
+	a.installTop(t, first, uint32(base+mapLen-first), true)
+	return nil
+}
+
+// topContiguous reports whether the top chunk ends exactly at the brk, so
+// sbrk growth extends it in place.
+func (a *Arena) topContiguous() bool {
+	last := a.segments[len(a.segments)-1]
+	return !last.mapped && last.end == a.as.Brk()
+}
+
+// abandonTop converts the current top chunk into an ordinary free chunk
+// with a fencepost, because a new non-contiguous segment is taking over.
+func (a *Arena) abandonTop(t *sim.Thread) {
+	topC := a.top(t)
+	topSz := a.chunkSize(t, topC)
+	pFlag := a.prevInuse(t, topC)
+	if topSz < MinChunk+16 {
+		// Too small to fence and free: waste it as a permanent allocation.
+		w := topSz
+		if pFlag {
+			w |= PrevInuse
+		}
+		a.setSizeWord(t, topC, w)
+		return
+	}
+	freeSz := topSz - 16
+	w := freeSz
+	if pFlag {
+		w |= PrevInuse
+	}
+	a.setSizeWord(t, topC, w)
+	// Fencepost pair: fp looks like an 8-byte free-boundary, fp2 marks fp
+	// as in use so nothing ever coalesces past the segment end.
+	fp := topC + uint64(freeSz)
+	a.setPrevSize(t, fp, freeSz)
+	a.setSizeWord(t, fp, 8) // P=0: the chunk before (our free chunk) is free
+	fp2 := fp + 8
+	a.setSizeWord(t, fp2, 8|PrevInuse)
+	a.frontlink(t, topC, freeSz)
+}
+
+// maybeTrim returns surplus top memory to the system when it exceeds the
+// trim threshold (main arena, contiguous top only).
+func (a *Arena) maybeTrim(t *sim.Thread) {
+	if !a.params.Trim || !a.IsMain || !a.topContiguous() {
+		return
+	}
+	topC := a.top(t)
+	topSz := a.chunkSize(t, topC)
+	if topSz <= a.params.TrimThreshold {
+		return
+	}
+	keep := int64(a.params.TopPad) + MinChunk + 64
+	extra := (int64(topSz) - keep) &^ (vm.PageSize - 1)
+	if extra <= 0 {
+		return
+	}
+	if _, err := a.as.Sbrk(t, -extra); err != nil {
+		return
+	}
+	a.stats.Trims++
+	a.installTop(t, topC, topSz-uint32(extra), a.prevInuse(t, topC))
+	a.segments[len(a.segments)-1].end = a.as.Brk()
+}
+
+// MmapChunk serves one request with a dedicated anonymous mapping (requests
+// at or above the mmap threshold). It does not require the arena lock in
+// ptmalloc and is placed here for chunk-format consistency.
+func (a *Arena) MmapChunk(t *sim.Thread, req uint32) (uint64, error) {
+	sz := a.params.Request2Size(req)
+	align := uint64(a.params.Align)
+	if align < 8 {
+		align = 8
+	}
+	mapLen := pageCeilU(uint64(sz) + HeaderSz + align)
+	base, err := a.as.Mmap(t, mapLen, "mmap-chunk")
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNoMemory, err)
+	}
+	c := a.alignFirstChunk(base)
+	offset := c - base
+	a.setPrevSize(t, c, uint32(offset))
+	a.setSizeWord(t, c, uint32(mapLen-offset-HeaderSz)|IsMmapped)
+	a.stats.MmapChunks++
+	a.accountAlloc(mapLen)
+	return c + HeaderSz, nil
+}
+
+// FreeMmapChunk releases a chunk created by MmapChunk.
+func (a *Arena) FreeMmapChunk(t *sim.Thread, mem uint64) error {
+	c := mem - HeaderSz
+	w := a.sizeWord(t, c)
+	if w&IsMmapped == 0 {
+		return fmt.Errorf("%w: not an mmapped chunk", ErrBadFree)
+	}
+	offset := uint64(a.prevSize(t, c))
+	base := c - offset
+	mapLen := uint64(w&^FlagMask) + offset + HeaderSz
+	a.stats.MunmapChunks++
+	a.stats.BytesInUse -= mapLen
+	return a.as.Munmap(t, base, mapLen)
+}
+
+// IsMmappedMem reports whether the chunk behind mem carries the M flag.
+func (a *Arena) IsMmappedMem(t *sim.Thread, mem uint64) bool {
+	return a.sizeWord(t, mem-HeaderSz)&IsMmapped != 0
+}
+
+// UsableSize returns the usable bytes behind a user pointer.
+func (a *Arena) UsableSize(t *sim.Thread, mem uint64) uint32 {
+	w := a.sizeWord(t, mem-HeaderSz)
+	sz := w &^ FlagMask
+	if w&IsMmapped != 0 {
+		return sz
+	}
+	return sz - SizeSz
+}
+
+func pageCeilI(n int64) int64 {
+	return (n + vm.PageSize - 1) &^ (vm.PageSize - 1)
+}
+
+func pageCeilU(n uint64) uint64 {
+	return (n + vm.PageSize - 1) &^ (vm.PageSize - 1)
+}

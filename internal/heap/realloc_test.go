@@ -1,0 +1,187 @@
+package heap
+
+import (
+	"testing"
+
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/xrand"
+)
+
+func TestReallocGrowIntoTop(t *testing.T) {
+	withArena(t, DefaultParams(), func(th *sim.Thread, a *Arena) {
+		p := mustMalloc(t, th, a, 100)
+		as := a.AddressSpace()
+		as.Write32(th, p, 0xabcd1234)
+		np, ok, err := a.ReallocInPlace(th, p, 4000)
+		if err != nil || !ok {
+			t.Fatalf("ReallocInPlace: ok=%v err=%v", ok, err)
+		}
+		if np != p {
+			t.Errorf("grow into top moved the block: %x -> %x", p, np)
+		}
+		if as.Read32(th, np) != 0xabcd1234 {
+			t.Error("data lost on grow")
+		}
+		if a.Stats().GrowsInPlace != 1 {
+			t.Errorf("GrowsInPlace = %d", a.Stats().GrowsInPlace)
+		}
+		mustFree(t, th, a, np)
+		mustCheck(t, a)
+	})
+}
+
+func TestReallocGrowIntoNextFree(t *testing.T) {
+	withArena(t, DefaultParams(), func(th *sim.Thread, a *Arena) {
+		p1 := mustMalloc(t, th, a, 64)
+		p2 := mustMalloc(t, th, a, 256)
+		barrier := mustMalloc(t, th, a, 64)
+		mustFree(t, th, a, p2) // successor of p1 is now free
+		as := a.AddressSpace()
+		as.Write32(th, p1, 7)
+		np, ok, err := a.ReallocInPlace(th, p1, 200)
+		if err != nil || !ok {
+			t.Fatalf("ReallocInPlace: ok=%v err=%v", ok, err)
+		}
+		if np != p1 {
+			t.Errorf("grow into next free moved the block: %x -> %x", p1, np)
+		}
+		if as.Read32(th, np) != 7 {
+			t.Error("data lost")
+		}
+		mustFree(t, th, a, np)
+		mustFree(t, th, a, barrier)
+		mustCheck(t, a)
+	})
+}
+
+func TestReallocShrinkSplits(t *testing.T) {
+	withArena(t, DefaultParams(), func(th *sim.Thread, a *Arena) {
+		p := mustMalloc(t, th, a, 1024)
+		barrier := mustMalloc(t, th, a, 64)
+		np, ok, err := a.ReallocInPlace(th, p, 64)
+		if err != nil || !ok {
+			t.Fatalf("ReallocInPlace: ok=%v err=%v", ok, err)
+		}
+		if np != p {
+			t.Errorf("shrink moved the block")
+		}
+		mustCheck(t, a)
+		// The split-off tail must be reusable.
+		q := mustMalloc(t, th, a, 512)
+		if q < p || q > p+1100 {
+			t.Errorf("tail not reused: %x vs %x", q, p)
+		}
+		mustFree(t, th, a, np)
+		mustFree(t, th, a, q)
+		mustFree(t, th, a, barrier)
+		mustCheck(t, a)
+	})
+}
+
+func TestReallocMovePreservesData(t *testing.T) {
+	withArena(t, DefaultParams(), func(th *sim.Thread, a *Arena) {
+		p := mustMalloc(t, th, a, 64)
+		blocker := mustMalloc(t, th, a, 64) // prevents in-place growth
+		as := a.AddressSpace()
+		for i := uint64(0); i < 64; i += 4 {
+			as.Write32(th, p+i, uint32(i))
+		}
+		np, ok, err := a.ReallocInPlace(th, p, 2048)
+		if err != nil {
+			t.Fatalf("ReallocInPlace: %v", err)
+		}
+		if ok {
+			t.Fatalf("in-place growth reported despite blocker")
+		}
+		// The caller-side move: allocate, copy, free.
+		np = mustMalloc(t, th, a, 2048)
+		a.CopyPayload(th, np, p, 64)
+		mustFree(t, th, a, p)
+		for i := uint64(0); i < 64; i += 4 {
+			if as.Read32(th, np+i) != uint32(i) {
+				t.Fatalf("data lost at offset %d", i)
+			}
+		}
+		mustFree(t, th, a, np)
+		mustFree(t, th, a, blocker)
+		mustCheck(t, a)
+	})
+}
+
+func TestReallocRandomized(t *testing.T) {
+	withArena(t, DefaultParams(), func(th *sim.Thread, a *Arena) {
+		as := a.AddressSpace()
+		r := xrand.New(77, 0)
+		type obj struct {
+			p     uint64
+			n     uint32
+			stamp byte
+		}
+		var live []obj
+		for i := 0; i < 2500; i++ {
+			switch {
+			case len(live) > 0 && r.Intn(3) == 0:
+				// Realloc a random object to a random new size.
+				k := r.Intn(len(live))
+				o := live[k]
+				if as.Read8(th, o.p) != o.stamp {
+					t.Fatalf("op %d: stamp lost before realloc", i)
+				}
+				nn := uint32(1 + r.Intn(3000))
+				np, ok, err := a.ReallocInPlace(th, o.p, nn)
+				if err != nil {
+					t.Fatalf("op %d: ReallocInPlace: %v", i, err)
+				}
+				if !ok {
+					np = mustMalloc(t, th, a, nn)
+					keep := o.n
+					if nn < keep {
+						keep = nn
+					}
+					a.CopyPayload(th, np, o.p, keep)
+					mustFree(t, th, a, o.p)
+				}
+				if as.Read8(th, np) != o.stamp {
+					t.Fatalf("op %d: stamp lost across realloc", i)
+				}
+				as.Write8(th, np+uint64(nn)-1, o.stamp)
+				live[k] = obj{np, nn, o.stamp}
+			case len(live) > 150 || (len(live) > 0 && r.Intn(2) == 0):
+				k := r.Intn(len(live))
+				mustFree(t, th, a, live[k].p)
+				live = append(live[:k], live[k+1:]...)
+			default:
+				n := uint32(1 + r.Intn(1000))
+				p := mustMalloc(t, th, a, n)
+				stamp := byte(r.Intn(256))
+				as.Write8(th, p, stamp)
+				as.Write8(th, p+uint64(n)-1, stamp)
+				live = append(live, obj{p, n, stamp})
+			}
+			if i%500 == 0 {
+				mustCheck(t, a)
+			}
+		}
+		for _, o := range live {
+			mustFree(t, th, a, o.p)
+		}
+		mustCheck(t, a)
+	})
+}
+
+func TestMemzero(t *testing.T) {
+	withArena(t, DefaultParams(), func(th *sim.Thread, a *Arena) {
+		as := a.AddressSpace()
+		p := mustMalloc(t, th, a, 100)
+		for i := uint64(0); i < 100; i++ {
+			as.Write8(th, p+i, 0xff)
+		}
+		a.Memzero(th, p, 100)
+		for i := uint64(0); i < 100; i++ {
+			if as.Read8(th, p+i) != 0 {
+				t.Fatalf("byte %d not zeroed", i)
+			}
+		}
+		mustFree(t, th, a, p)
+	})
+}

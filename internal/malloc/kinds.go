@@ -1,0 +1,43 @@
+package malloc
+
+import (
+	"fmt"
+
+	"mtmalloc/internal/heap"
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/vm"
+)
+
+// Kind names an allocator design.
+type Kind string
+
+// The allocator designs under study.
+const (
+	KindSerial    Kind = "serial"    // single lock (Solaris 2.6 libc model)
+	KindPTMalloc  Kind = "ptmalloc"  // glibc 2.0/2.1 arena list
+	KindPerThread Kind = "perthread" // one arena per thread
+)
+
+// Kinds lists every allocator kind.
+func Kinds() []Kind { return []Kind{KindSerial, KindPTMalloc, KindPerThread} }
+
+// New constructs an allocator of the given kind on as.
+func New(t *sim.Thread, kind Kind, as *vm.AddressSpace, params heap.Params, costs CostParams) (Allocator, error) {
+	switch kind {
+	case KindSerial:
+		return NewSerial(t, as, params, costs)
+	case KindPTMalloc:
+		return NewPTMalloc(t, as, params, costs)
+	case KindPerThread:
+		return NewPerThread(t, as, params, costs)
+	default:
+		return nil, fmt.Errorf("malloc: unknown allocator kind %q", kind)
+	}
+}
+
+// Aligned returns params adjusted so every returned pointer sits on its own
+// cache-line boundary: the benchmark 3 "cache-aligned" variant.
+func Aligned(params heap.Params, lineSize uint32) heap.Params {
+	params.Align = lineSize
+	return params
+}

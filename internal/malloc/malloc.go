@@ -1,0 +1,305 @@
+// Package malloc assembles heap arenas into the allocator designs the paper
+// compares:
+//
+//   - Serial: one arena behind one mutex — the classic thread-safe libc
+//     malloc (the paper's Solaris 2.6 allocator).
+//   - PTMalloc: Gloger's ptmalloc as shipped in glibc 2.0/2.1 — an arena
+//     list searched with trylock, growing a new arena when every existing
+//     one is busy, with per-thread last-arena caching.
+//   - PerThread: one private arena per thread (the "per-thread storage"
+//     option 2 from the paper's §2), cross-thread frees lock the owner.
+//
+// All variants serve requests at or above the mmap threshold from dedicated
+// anonymous mappings, as glibc does ("mmap() for allocation requests larger
+// than 32 pages").
+//
+// # Shared C library state model
+//
+// The paper measures a ~10% (dual-CPU) to ~20% (quad-CPU) penalty for two
+// threads sharing one C library against two processes with private
+// libraries, and a bimodal per-thread slowdown it attributes to "allocator
+// variables that are improperly aligned with regard to hardware caches"
+// (Table 4). Those effects come from coherence traffic on allocator globals
+// at a finer grain than the engine's batch scheduling resolves, so they are
+// modelled analytically (DESIGN.md §2): every operation on an allocator
+// instance shared by s active threads pays SharedTaxUnit*(s-1)/s cycles,
+// and operations on the main arena — whose metadata shares its cache line
+// with the library globals — pay MainArenaSloshUnit*(s-2) more once a third
+// thread joins. Two processes have separate instances, so s stays 1 and the
+// taxes vanish, exactly as in the paper's process runs.
+package malloc
+
+import (
+	"fmt"
+
+	"mtmalloc/internal/heap"
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/vm"
+)
+
+// CostParams holds the allocator-level instruction costs in cycles; the
+// memory traffic underneath is charged by the heap/vm/cache layers.
+type CostParams struct {
+	WorkMalloc int64 // fixed instruction work per malloc
+	WorkFree   int64 // fixed instruction work per free
+	TSDRead    int64 // reading thread-specific data (last-arena pointer)
+	// SharedTaxUnit scales the per-op shared-library coherence tax (see
+	// package comment).
+	SharedTaxUnit int64
+	// MainArenaSloshUnit scales the extra main-arena penalty once three or
+	// more threads run on one instance.
+	MainArenaSloshUnit int64
+}
+
+// DefaultCostParams returns mid-range constants; machine profiles override.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		WorkMalloc:    140,
+		WorkFree:      110,
+		TSDRead:       8,
+		SharedTaxUnit: 0,
+	}
+}
+
+// Stats aggregates allocator-level counters.
+type Stats struct {
+	Ops             uint64
+	MmapDirect      uint64
+	ArenaCreations  uint64
+	TrylockFailures uint64
+	CrossArenaFrees uint64 // frees routed to an arena other than the
+	// caller's current arena
+	ArenaCount int
+	Heap       heap.Stats // summed over arenas
+}
+
+// Allocator is the public allocator interface: the system malloc/free pair
+// plus introspection used by benchmarks and tests.
+type Allocator interface {
+	Name() string
+	Malloc(t *sim.Thread, size uint32) (uint64, error)
+	Free(t *sim.Thread, mem uint64) error
+	// Realloc resizes mem to size with C realloc semantics: Realloc(0, n)
+	// allocates, Realloc(p, 0) frees and returns 0.
+	Realloc(t *sim.Thread, mem uint64, size uint32) (uint64, error)
+	// Calloc allocates size bytes of zeroed memory.
+	Calloc(t *sim.Thread, size uint32) (uint64, error)
+
+	// AttachThread and DetachThread maintain the active-thread registry
+	// behind the shared-state tax; benchmark workers bracket their run with
+	// them (a thread that never attaches still works, it just is not
+	// counted toward sharing).
+	AttachThread(t *sim.Thread)
+	DetachThread(t *sim.Thread)
+
+	// CurrentArena reports which arena the thread last allocated from
+	// (nil if none); used by reports and tests.
+	CurrentArena(t *sim.Thread) *heap.Arena
+
+	Arenas() []*heap.Arena
+	AddressSpace() *vm.AddressSpace
+	Stats() Stats
+	Check() error
+}
+
+// base carries the machinery common to all variants.
+type base struct {
+	name   string
+	as     *vm.AddressSpace
+	params heap.Params
+	costs  CostParams
+
+	arenas   []*heap.Arena
+	listLock *sim.Mutex
+
+	attached map[int]bool
+	active   int
+
+	lastArena map[int]*heap.Arena
+
+	stats Stats
+}
+
+func newBase(t *sim.Thread, name string, as *vm.AddressSpace, params heap.Params, costs CostParams) (*base, error) {
+	b := &base{
+		name:      name,
+		as:        as,
+		params:    params,
+		costs:     costs,
+		listLock:  as.Machine().NewMutex(name + ".list"),
+		attached:  make(map[int]bool),
+		lastArena: make(map[int]*heap.Arena),
+	}
+	main, err := heap.NewMain(t, as, &b.params)
+	if err != nil {
+		return nil, fmt.Errorf("malloc: creating main arena: %w", err)
+	}
+	b.arenas = []*heap.Arena{main}
+	return b, nil
+}
+
+func (b *base) Name() string                   { return b.name }
+func (b *base) Arenas() []*heap.Arena          { return b.arenas }
+func (b *base) AddressSpace() *vm.AddressSpace { return b.as }
+
+func (b *base) AttachThread(t *sim.Thread) {
+	if !b.attached[t.ID()] {
+		b.attached[t.ID()] = true
+		b.active++
+	}
+}
+
+func (b *base) DetachThread(t *sim.Thread) {
+	if b.attached[t.ID()] {
+		delete(b.attached, t.ID())
+		b.active--
+	}
+}
+
+func (b *base) CurrentArena(t *sim.Thread) *heap.Arena {
+	return b.lastArena[t.ID()]
+}
+
+// opCharge bills the fixed instruction work plus the shared-state taxes for
+// one operation by t whose current arena is a.
+func (b *base) opCharge(t *sim.Thread, work int64, a *heap.Arena) {
+	b.stats.Ops++
+	c := work
+	if s := b.active; s >= 2 && b.costs.SharedTaxUnit > 0 {
+		c += b.costs.SharedTaxUnit * int64(s-1) / int64(s)
+		if a != nil && a.IsMain && s >= 3 && b.costs.MainArenaSloshUnit > 0 {
+			c += b.costs.MainArenaSloshUnit * int64(s-2)
+		}
+	}
+	t.Charge(sim.Time(c))
+}
+
+// routeFree finds the arena owning mem. The pointer arithmetic glibc uses
+// (heap_for_ptr) is O(1); the Go-side scan stands in for it, and the cost
+// is one TSD-scale read.
+func (b *base) routeFree(t *sim.Thread, mem uint64) (*heap.Arena, error) {
+	t.Charge(sim.Time(b.costs.TSDRead))
+	c := mem - heap.HeaderSz
+	for _, a := range b.arenas {
+		if a.Contains(c) {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: 0x%x not in any arena", heap.ErrBadFree, mem)
+}
+
+// mmapPath serves size from a dedicated mapping when it crosses the
+// threshold. Returns (0, nil, false) when the ordinary path should run.
+func (b *base) mmapPath(t *sim.Thread, size uint32) (uint64, error, bool) {
+	if b.params.MmapThreshold != 0 && b.params.Request2Size(size) >= b.params.MmapThreshold {
+		b.stats.MmapDirect++
+		p, err := b.arenas[0].MmapChunk(t, size)
+		return p, err, true
+	}
+	return 0, nil, false
+}
+
+// freeIfMmapped releases mem when it is an mmapped chunk.
+func (b *base) freeIfMmapped(t *sim.Thread, mem uint64) (bool, error) {
+	if b.arenas[0].IsMmappedMem(t, mem) {
+		return true, b.arenas[0].FreeMmapChunk(t, mem)
+	}
+	return false, nil
+}
+
+// sumStats collects allocator- and arena-level statistics.
+func (b *base) sumStats() Stats {
+	s := b.stats
+	s.ArenaCount = len(b.arenas)
+	for _, a := range b.arenas {
+		as := a.Stats()
+		s.Heap.Mallocs += as.Mallocs
+		s.Heap.Frees += as.Frees
+		s.Heap.BinHits += as.BinHits
+		s.Heap.BinScans += as.BinScans
+		s.Heap.TopAllocs += as.TopAllocs
+		s.Heap.Splits += as.Splits
+		s.Heap.Coalesces += as.Coalesces
+		s.Heap.Extends += as.Extends
+		s.Heap.Trims += as.Trims
+		s.Heap.MmapChunks += as.MmapChunks
+		s.Heap.MunmapChunks += as.MunmapChunks
+		s.Heap.BytesInUse += as.BytesInUse
+		s.Heap.PeakInUse += as.PeakInUse
+	}
+	return s
+}
+
+// reallocOn implements realloc for a variant: al provides the Malloc/Free
+// entry points (so policy like arena selection applies to moves), b the
+// shared routing.
+func reallocOn(al Allocator, b *base, t *sim.Thread, mem uint64, size uint32) (uint64, error) {
+	switch {
+	case mem == 0:
+		return al.Malloc(t, size)
+	case size == 0:
+		return 0, al.Free(t, mem)
+	}
+	t.MaybeYield()
+	ref := b.arenas[0]
+	if ref.IsMmappedMem(t, mem) {
+		// Mmapped chunks move: a fresh allocation, a copy, a munmap.
+		oldUs := ref.UsableSize(t, mem)
+		np, err := al.Malloc(t, size)
+		if err != nil {
+			return 0, err
+		}
+		n := size
+		if oldUs < n {
+			n = oldUs
+		}
+		ref.CopyPayload(t, np, mem, n)
+		return np, al.Free(t, mem)
+	}
+	a, err := b.routeFree(t, mem)
+	if err != nil {
+		return 0, err
+	}
+	t.Lock(a.Lock)
+	np, ok, rerr := a.ReallocInPlace(t, mem, size)
+	t.Unlock(a.Lock)
+	if rerr != nil {
+		return 0, rerr
+	}
+	if ok {
+		return np, nil
+	}
+	// In-place resize impossible: move through the allocator's ordinary
+	// policy, so oversized requests still become anonymous mappings.
+	oldUs := ref.UsableSize(t, mem)
+	np, err = al.Malloc(t, size)
+	if err != nil {
+		return 0, fmt.Errorf("realloc: %w", err)
+	}
+	n := size
+	if oldUs < n {
+		n = oldUs
+	}
+	ref.CopyPayload(t, np, mem, n)
+	return np, al.Free(t, mem)
+}
+
+// callocOn implements calloc for a variant.
+func callocOn(al Allocator, b *base, t *sim.Thread, size uint32) (uint64, error) {
+	p, err := al.Malloc(t, size)
+	if err != nil {
+		return 0, err
+	}
+	b.arenas[0].Memzero(t, p, size)
+	return p, nil
+}
+
+// checkAll verifies every arena.
+func (b *base) checkAll() error {
+	for _, a := range b.arenas {
+		if err := a.Check(); err != nil {
+			return fmt.Errorf("arena %d: %w", a.Index, err)
+		}
+	}
+	return nil
+}

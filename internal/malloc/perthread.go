@@ -1,0 +1,107 @@
+package malloc
+
+import (
+	"fmt"
+
+	"mtmalloc/internal/heap"
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/vm"
+)
+
+// PerThread gives every thread its own arena, created on first allocation —
+// the "per-thread storage" design the paper's §2 describes as option 2 (and
+// the direction Hoard/tcmalloc later took). Allocation never contends;
+// cross-thread frees lock the owning thread's arena. The trade-off is
+// worst-case memory: T threads hold T arenas regardless of load balance.
+type PerThread struct {
+	*base
+	owner map[int]*heap.Arena // thread ID -> arena
+}
+
+// NewPerThread creates the per-thread-arena allocator on as. The main arena
+// is used by the creating thread and by threads that never allocate.
+func NewPerThread(t *sim.Thread, as *vm.AddressSpace, params heap.Params, costs CostParams) (*PerThread, error) {
+	b, err := newBase(t, "perthread", as, params, costs)
+	if err != nil {
+		return nil, err
+	}
+	p := &PerThread{base: b, owner: map[int]*heap.Arena{t.ID(): b.arenas[0]}}
+	return p, nil
+}
+
+// arenaOf returns (creating if needed) the calling thread's private arena.
+func (p *PerThread) arenaOf(t *sim.Thread) (*heap.Arena, error) {
+	t.Charge(sim.Time(p.costs.TSDRead))
+	if a := p.owner[t.ID()]; a != nil {
+		return a, nil
+	}
+	t.Lock(p.listLock)
+	a, err := heap.NewSub(t, p.as, &p.params, len(p.arenas))
+	if err != nil {
+		t.Unlock(p.listLock)
+		return nil, fmt.Errorf("malloc: creating per-thread arena: %w", err)
+	}
+	p.arenas = append(p.arenas, a)
+	p.stats.ArenaCreations++
+	t.Unlock(p.listLock)
+	p.owner[t.ID()] = a
+	return a, nil
+}
+
+// Malloc allocates size bytes from the caller's arena.
+func (p *PerThread) Malloc(t *sim.Thread, size uint32) (uint64, error) {
+	t.MaybeYield()
+	a, err := p.arenaOf(t)
+	if err != nil {
+		return 0, err
+	}
+	p.opCharge(t, 0, a)
+	if mem, err, done := p.mmapPath(t, size); done {
+		return mem, err
+	}
+	t.Lock(a.Lock)
+	t.Charge(sim.Time(p.costs.WorkMalloc))
+	mem, merr := a.Malloc(t, size)
+	t.Unlock(a.Lock)
+	p.lastArena[t.ID()] = a
+	return mem, merr
+}
+
+// Free releases mem into its owning arena.
+func (p *PerThread) Free(t *sim.Thread, mem uint64) error {
+	t.MaybeYield()
+	p.opCharge(t, 0, p.owner[t.ID()])
+	if done, err := p.freeIfMmapped(t, mem); done {
+		return err
+	}
+	a, err := p.routeFree(t, mem)
+	if err != nil {
+		return err
+	}
+	if own := p.owner[t.ID()]; own != nil && own != a {
+		p.stats.CrossArenaFrees++
+	}
+	t.Lock(a.Lock)
+	t.Charge(sim.Time(p.costs.WorkFree))
+	ferr := a.Free(t, mem)
+	t.Unlock(a.Lock)
+	return ferr
+}
+
+// Stats returns aggregated statistics.
+func (p *PerThread) Stats() Stats { return p.sumStats() }
+
+// Check verifies every arena.
+func (p *PerThread) Check() error { return p.checkAll() }
+
+var _ Allocator = (*PerThread)(nil)
+
+// Realloc resizes mem with C semantics.
+func (p *PerThread) Realloc(t *sim.Thread, mem uint64, size uint32) (uint64, error) {
+	return reallocOn(p, p.base, t, mem, size)
+}
+
+// Calloc allocates zeroed memory.
+func (p *PerThread) Calloc(t *sim.Thread, size uint32) (uint64, error) {
+	return callocOn(p, p.base, t, size)
+}

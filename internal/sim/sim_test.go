@@ -1,0 +1,542 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func testConfig(cpus int) Config {
+	return Config{CPUs: cpus, ClockMHz: 100, Seed: 1}
+}
+
+func TestSingleThreadCharges(t *testing.T) {
+	m := NewMachine(testConfig(1))
+	var elapsed Time
+	err := m.Run(func(th *Thread) {
+		start := th.Now()
+		for i := 0; i < 1000; i++ {
+			th.Charge(100)
+			th.MaybeYield()
+		}
+		elapsed = th.Now() - start
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 100000 {
+		t.Fatalf("elapsed = %d, want >= 100000", elapsed)
+	}
+	// Context switches are free for a lone thread on its own CPU after the
+	// first dispatch, so elapsed should be close to the pure work.
+	if elapsed > 110000 {
+		t.Fatalf("elapsed = %d, too much overhead for single thread", elapsed)
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	m := NewMachine(Config{CPUs: 1, ClockMHz: 200, Seed: 1})
+	if s := m.Seconds(200 * 1e6); s != 1.0 {
+		t.Fatalf("Seconds = %v, want 1.0", s)
+	}
+	if c := m.Cycles(2.5); c != Time(500*1e6) {
+		t.Fatalf("Cycles = %v", c)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		m := NewMachine(testConfig(2))
+		var outs []Time
+		err := m.Run(func(main *Thread) {
+			var kids []*Thread
+			for i := 0; i < 4; i++ {
+				kids = append(kids, main.Spawn("w", func(w *Thread) {
+					for j := 0; j < 5000; j++ {
+						w.Charge(Time(50 + w.RNG().Intn(10)))
+						w.MaybeYield()
+					}
+				}))
+			}
+			for _, k := range kids {
+				main.Join(k)
+			}
+			for _, k := range kids {
+				outs = append(outs, k.Elapsed())
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at thread %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeedChangesInterleaving(t *testing.T) {
+	run := func(seed uint64) Time {
+		cfg := testConfig(2)
+		cfg.Seed = seed
+		m := NewMachine(cfg)
+		var total Time
+		err := m.Run(func(main *Thread) {
+			mu := m.NewMutex("m")
+			var kids []*Thread
+			for i := 0; i < 3; i++ {
+				kids = append(kids, main.Spawn("w", func(w *Thread) {
+					for j := 0; j < 2000; j++ {
+						w.Lock(mu)
+						w.Charge(100)
+						w.Unlock(mu)
+						w.MaybeYield()
+					}
+				}))
+			}
+			for _, k := range kids {
+				main.Join(k)
+				total += k.Elapsed()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	a, b := run(1), run(999)
+	if a == b {
+		t.Log("note: different seeds produced identical totals (possible but unlikely)")
+	}
+}
+
+func TestTwoThreadsTwoCPUsRunInParallel(t *testing.T) {
+	m := NewMachine(testConfig(2))
+	var e1, e2, wall Time
+	err := m.Run(func(main *Thread) {
+		w1 := main.Spawn("w1", func(w *Thread) {
+			for i := 0; i < 10000; i++ {
+				w.Charge(100)
+				w.MaybeYield()
+			}
+		})
+		w2 := main.Spawn("w2", func(w *Thread) {
+			for i := 0; i < 10000; i++ {
+				w.Charge(100)
+				w.MaybeYield()
+			}
+		})
+		main.Join(w1)
+		main.Join(w2)
+		e1, e2 = w1.Elapsed(), w2.Elapsed()
+		wall = main.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := Time(10000 * 100)
+	if e1 > work*12/10 || e2 > work*12/10 {
+		t.Fatalf("threads did not run in parallel: %d, %d (work %d)", e1, e2, work)
+	}
+	if wall > work*15/10 {
+		t.Fatalf("wall time %d too large", wall)
+	}
+}
+
+func TestThreeThreadsTwoCPUsTimeslice(t *testing.T) {
+	m := NewMachine(testConfig(2))
+	var es []Time
+	err := m.Run(func(main *Thread) {
+		var kids []*Thread
+		for i := 0; i < 3; i++ {
+			kids = append(kids, main.Spawn("w", func(w *Thread) {
+				for j := 0; j < 20000; j++ {
+					w.Charge(100)
+					w.MaybeYield()
+				}
+			}))
+		}
+		for _, k := range kids {
+			main.Join(k)
+		}
+		for _, k := range kids {
+			es = append(es, k.Elapsed())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := Time(20000 * 100)
+	// 3 threads on 2 CPUs: each should take about 1.5x the pure work.
+	for i, e := range es {
+		if e < work*13/10 || e > work*19/10 {
+			t.Fatalf("thread %d elapsed %d, want about 1.5x work (%d)", i, e, work*15/10)
+		}
+	}
+}
+
+func TestMutexSerializesAndChargesHandoff(t *testing.T) {
+	m := NewMachine(testConfig(2))
+	mu := m.NewMutex("heap")
+	const ops, hold = 5000, 200
+	var es []Time
+	err := m.Run(func(main *Thread) {
+		var kids []*Thread
+		for i := 0; i < 2; i++ {
+			kids = append(kids, main.Spawn("w", func(w *Thread) {
+				for j := 0; j < ops; j++ {
+					w.Lock(mu)
+					w.Charge(hold)
+					w.Unlock(mu)
+					w.MaybeYield()
+				}
+			}))
+		}
+		for _, k := range kids {
+			main.Join(k)
+		}
+		for _, k := range kids {
+			es = append(es, k.Elapsed())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully serialized lower bound: 2*ops*hold for each thread.
+	minE := Time(2 * ops * hold)
+	for i, e := range es {
+		if e < minE*9/10 {
+			t.Fatalf("thread %d elapsed %d below serialization bound %d", i, e, minE)
+		}
+	}
+	if mu.Contended == 0 {
+		t.Fatal("expected contention on shared mutex")
+	}
+	if mu.HandoffEvents == 0 {
+		t.Fatal("expected handoff charges on saturated mutex")
+	}
+	// The hot-window mechanism should charge roughly one handoff per op,
+	// not one per batch.
+	if mu.HandoffEvents < uint64(ops) {
+		t.Fatalf("handoffs = %d, want >= %d (per-op alternation)", mu.HandoffEvents, ops)
+	}
+}
+
+func TestUncontendedMutexIsCheap(t *testing.T) {
+	m := NewMachine(testConfig(1))
+	mu := m.NewMutex("m")
+	err := m.Run(func(main *Thread) {
+		for i := 0; i < 1000; i++ {
+			main.Lock(mu)
+			main.Charge(10)
+			main.Unlock(mu)
+			main.MaybeYield()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu.Contended != 0 {
+		t.Fatalf("single thread contended %d times", mu.Contended)
+	}
+	if mu.HandoffEvents != 0 {
+		t.Fatalf("single thread paid %d handoffs", mu.HandoffEvents)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	m := NewMachine(testConfig(2))
+	mu := m.NewMutex("m")
+	var failed bool
+	err := m.Run(func(main *Thread) {
+		// Commit a long critical section from a worker, then trylock from
+		// another thread whose clock is inside that window.
+		w := main.Spawn("holder", func(w *Thread) {
+			w.Lock(mu)
+			w.Charge(1000000)
+			w.Unlock(mu)
+		})
+		probe := main.Spawn("probe", func(p *Thread) {
+			p.Charge(100) // stay well inside the holder's window
+			for i := 0; i < 50; i++ {
+				if !p.TryLock(mu) {
+					failed = true
+					return
+				}
+				p.Unlock(mu)
+				p.Charge(50)
+			}
+		})
+		main.Join(w)
+		main.Join(probe)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("TryLock never failed despite a busy holder window")
+	}
+	if mu.TryFailures == 0 {
+		t.Fatal("TryFailures not counted")
+	}
+}
+
+func TestYieldWhileHoldingPanics(t *testing.T) {
+	m := NewMachine(testConfig(1))
+	mu := m.NewMutex("m")
+	err := m.Run(func(main *Thread) {
+		main.Lock(mu)
+		main.Yield()
+	})
+	if err == nil || !strings.Contains(err.Error(), "holding") {
+		t.Fatalf("err = %v, want yield-while-holding panic", err)
+	}
+}
+
+func TestUnlockByNonOwnerPanics(t *testing.T) {
+	m := NewMachine(testConfig(1))
+	mu := m.NewMutex("m")
+	err := m.Run(func(main *Thread) {
+		main.Unlock(mu)
+	})
+	if err == nil {
+		t.Fatal("unlock of unheld mutex did not fail")
+	}
+}
+
+func TestBodyPanicPropagates(t *testing.T) {
+	m := NewMachine(testConfig(2))
+	err := m.Run(func(main *Thread) {
+		w := main.Spawn("bad", func(w *Thread) {
+			panic("boom")
+		})
+		main.Join(w)
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want propagated panic", err)
+	}
+}
+
+func TestJoinOrdering(t *testing.T) {
+	m := NewMachine(testConfig(1))
+	err := m.Run(func(main *Thread) {
+		w := main.Spawn("w", func(w *Thread) {
+			w.Charge(500000)
+		})
+		main.Join(w)
+		if main.Now() < w.Elapsed() {
+			t.Errorf("joiner clock %d before child finish %d", main.Now(), w.Elapsed())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinFinishedThread(t *testing.T) {
+	m := NewMachine(testConfig(1))
+	err := m.Run(func(main *Thread) {
+		w := main.Spawn("w", func(w *Thread) { w.Charge(10) })
+		main.Charge(10000000) // run long past the child
+		main.Yield()
+		main.Join(w) // child long done; join must not block
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnChain(t *testing.T) {
+	// Benchmark 2's structure: each thread spawns its successor and exits.
+	m := NewMachine(testConfig(1))
+	count := 0
+	var spawnChain func(rounds int) func(*Thread)
+	spawnChain = func(rounds int) func(*Thread) {
+		return func(w *Thread) {
+			count++
+			w.Charge(1000)
+			if rounds > 1 {
+				w.Spawn("next", spawnChain(rounds-1))
+			}
+		}
+	}
+	err := m.Run(func(main *Thread) {
+		main.Spawn("first", spawnChain(8))
+		// Main returns; engine must still drain the chain.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("chain ran %d rounds, want 8", count)
+	}
+}
+
+func TestOnSpawnHook(t *testing.T) {
+	m := NewMachine(testConfig(1))
+	calls := 0
+	m.OnSpawn = func(parent, child *Thread) { calls++ }
+	err := m.Run(func(main *Thread) {
+		for i := 0; i < 3; i++ {
+			main.Join(main.Spawn("w", func(w *Thread) { w.Charge(1) }))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("OnSpawn ran %d times, want 3", calls)
+	}
+}
+
+func TestDescheduledHolderBlocksTryLock(t *testing.T) {
+	// Drive the mutex mechanics directly with detached thread records,
+	// bypassing the engine: a mutex marked as held by a preempted thread
+	// must fail TryLock from others, make Lock wait for the holder's
+	// resumption, and clear when the holder itself relocks.
+	m := NewMachine(testConfig(1))
+	mu := m.NewMutex("arena")
+	holder := &Thread{machine: m, id: 1, Name: "holder"}
+	prober := &Thread{machine: m, id: 2, Name: "prober"}
+
+	holder.clock = 5000
+	mu.markDescheduled(holder)
+
+	if prober.TryLock(mu) {
+		t.Fatal("TryLock succeeded despite descheduled holder")
+	}
+	if mu.TryFailures != 1 {
+		t.Fatalf("TryFailures = %d", mu.TryFailures)
+	}
+
+	// Lock must wait until at least the holder's clock plus the residual.
+	prober.clock = 100
+	prober.Lock(mu)
+	min := holder.clock + m.cfg.Costs.DeschedResidual
+	if prober.clock < min {
+		t.Fatalf("Lock cleared too early: clock %d, want >= %d", prober.clock, min)
+	}
+	if mu.heldBy != nil {
+		t.Fatal("marking not cleared by waiting locker")
+	}
+	prober.Unlock(mu)
+
+	// Self-relock clears the marking without waiting. Advance the holder
+	// past the prober's committed critical section first so the analytic
+	// horizon is clear.
+	holder.clock = prober.clock + 10000
+	mu.markDescheduled(holder)
+	before := holder.clock
+	holder.Lock(mu)
+	if mu.heldBy != nil {
+		t.Fatal("self relock did not clear marking")
+	}
+	if holder.clock > before+m.cfg.Costs.MutexAtomic+m.cfg.Costs.MutexHandoff {
+		t.Fatalf("self relock overcharged: %d -> %d", before, holder.clock)
+	}
+	holder.Unlock(mu)
+	if len(holder.deschedHeld) != 0 {
+		t.Fatalf("deschedHeld not emptied: %d", len(holder.deschedHeld))
+	}
+}
+
+func TestQuantumPreemptionDrawsHappen(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Quantum = 100000 // frequent draws
+	m := NewMachine(cfg)
+	mu := m.NewMutex("arena")
+	err := m.Run(func(main *Thread) {
+		var kids []*Thread
+		for i := 0; i < 3; i++ {
+			kids = append(kids, main.Spawn("w", func(w *Thread) {
+				for j := 0; j < 20000; j++ {
+					w.Lock(mu)
+					w.Charge(80) // large hold fraction
+					w.Unlock(mu)
+					w.Charge(20)
+					w.MaybeYield()
+				}
+			}))
+		}
+		for _, k := range kids {
+			main.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PreemptDraws == 0 {
+		t.Fatal("no preemption draws on a busy uniprocessor")
+	}
+	if m.PreemptMidCS == 0 {
+		t.Fatal("no mid-critical-section preemptions despite high hold fraction")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewMachine(testConfig(1))
+	err := m.Run(func(main *Thread) {
+		w := main.Spawn("w", func(w *Thread) {
+			// Never finishes from main's perspective: joins main, which
+			// joins us. Cyclic join = deadlock.
+			w.Join(m.Threads()[0])
+		})
+		main.Join(w)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestContextSwitchAccounting(t *testing.T) {
+	m := NewMachine(testConfig(1))
+	err := m.Run(func(main *Thread) {
+		a := main.Spawn("a", func(w *Thread) {
+			for j := 0; j < 5000; j++ {
+				w.Charge(100)
+				w.MaybeYield()
+			}
+		})
+		b := main.Spawn("b", func(w *Thread) {
+			for j := 0; j < 5000; j++ {
+				w.Charge(100)
+				w.MaybeYield()
+			}
+		})
+		main.Join(a)
+		main.Join(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ContextSwitches < 10 {
+		t.Fatalf("ContextSwitches = %d, want interleaving on one CPU", m.ContextSwitches)
+	}
+}
+
+func TestElapsedSeconds(t *testing.T) {
+	m := NewMachine(Config{CPUs: 1, ClockMHz: 1, Seed: 1}) // 1 MHz: 1 cycle = 1µs
+	var got float64
+	err := m.Run(func(main *Thread) {
+		main.Charge(1000000)
+		got = main.ElapsedSeconds()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.0 {
+		t.Fatalf("ElapsedSeconds = %v, want 1.0", got)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	m := NewMachine(testConfig(1))
+	if err := m.Run(func(main *Thread) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(func(main *Thread) {}); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}

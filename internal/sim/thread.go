@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+
+	"mtmalloc/internal/xrand"
+)
+
+// threadState is the lifecycle of a simulated thread.
+type threadState int
+
+const (
+	stateNew threadState = iota
+	stateRunnable
+	stateRunning
+	stateBlocked // waiting in Join
+	stateDone
+)
+
+// Thread is a simulated thread of execution. Thread bodies are ordinary Go
+// functions run on their own goroutine; the engine resumes exactly one at a
+// time, so bodies may freely mutate shared simulator state without real
+// synchronization. A body interacts with simulated time only through the
+// methods of this type (Charge, Lock, MaybeYield, ...).
+type Thread struct {
+	id      int
+	Name    string
+	machine *Machine
+
+	clock  Time
+	start  Time // clock when the body began executing
+	finish Time // clock when the body returned
+
+	state   threadState
+	resume  chan struct{}
+	yielded chan struct{}
+
+	body func(*Thread)
+	rng  *xrand.RNG
+
+	// CPU bookkeeping.
+	lastCPU int
+
+	// Batch/yield bookkeeping.
+	opsSinceYield int
+	batchStart    Time
+
+	// Lock-hold accounting used by the preemption model: holdCycles
+	// accumulates critical-section cycles since the last yield; holdFrac is
+	// the fraction of the previous batch spent holding locks.
+	holdCycles Time
+	holdFrac   float64
+	lastMutex  *Mutex
+	holding    int // mutexes currently held; must be 0 at yield points
+	// deschedHeld lists mutexes marked as held by this thread while it was
+	// preempted; they are released when the thread is next dispatched.
+	deschedHeld []*Mutex
+
+	// Join bookkeeping.
+	waiters []*Thread
+	joining *Thread
+
+	panicked any
+
+	// Ops counts simulated operations (MaybeYield calls); exported for
+	// harness statistics.
+	Ops uint64
+}
+
+// ID returns the thread's unique identifier (dense, starting at 0).
+func (t *Thread) ID() int { return t.id }
+
+// Machine returns the machine the thread runs on.
+func (t *Thread) Machine() *Machine { return t.machine }
+
+// Now returns the thread's current simulated time.
+func (t *Thread) Now() Time { return t.clock }
+
+// CPU returns the CPU index the thread last ran on.
+func (t *Thread) CPU() int { return t.lastCPU }
+
+// RNG returns the thread's private deterministic random stream.
+func (t *Thread) RNG() *xrand.RNG { return t.rng }
+
+// Charge advances the thread's clock by the given number of cycles,
+// representing CPU work. Negative charges are a programming error.
+func (t *Thread) Charge(c Time) {
+	if c < 0 {
+		panic("sim: negative charge")
+	}
+	t.clock += c
+}
+
+// Lock acquires mu, advancing the clock past any analytic contention.
+func (t *Thread) Lock(mu *Mutex) { mu.lockAt(t) }
+
+// TryLock attempts to acquire mu without waiting.
+func (t *Thread) TryLock(mu *Mutex) bool { return mu.tryLockAt(t) }
+
+// Unlock releases mu.
+func (t *Thread) Unlock(mu *Mutex) { mu.unlockAt(t) }
+
+// MaybeYield marks an operation boundary. Thread bodies (and the allocator
+// entry points) call it once per logical operation; every BatchOps
+// operations or BatchCycles simulated cycles the thread yields to the engine
+// so other threads can interleave. Must not be called while holding a Mutex.
+func (t *Thread) MaybeYield() {
+	t.Ops++
+	t.opsSinceYield++
+	cfg := &t.machine.cfg
+	if t.opsSinceYield >= cfg.BatchOps || t.clock-t.batchStart >= cfg.BatchCycles {
+		t.Yield()
+	}
+}
+
+// Yield unconditionally returns control to the engine until the thread is
+// next dispatched.
+func (t *Thread) Yield() {
+	if t.holding > 0 {
+		panic(fmt.Sprintf("sim: thread %q yielded while holding %d mutex(es)", t.Name, t.holding))
+	}
+	t.endBatch()
+	t.machine.switchToEngine(t)
+	// Engine has re-dispatched us; batch accounting restarts in dispatch.
+}
+
+// endBatch folds the finished batch into the preemption statistics.
+func (t *Thread) endBatch() {
+	dur := t.clock - t.batchStart
+	if dur > 0 {
+		t.holdFrac = float64(t.holdCycles) / float64(dur)
+		if t.holdFrac > 1 {
+			t.holdFrac = 1
+		}
+	} else {
+		t.holdFrac = 0
+	}
+	t.holdCycles = 0
+	t.opsSinceYield = 0
+}
+
+// Sleep advances the thread's clock by d cycles without consuming CPU
+// capacity (the thread yields first so the engine releases its CPU).
+func (t *Thread) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	t.Yield()
+	t.clock += d
+	t.Yield()
+}
+
+// Spawn creates a new thread whose body starts at the caller's current time
+// plus the configured spawn cost. It returns the child thread handle.
+func (t *Thread) Spawn(name string, body func(*Thread)) *Thread {
+	return t.machine.spawn(t, name, body)
+}
+
+// Join blocks until other's body has returned, advancing the caller's clock
+// to at least other's finish time.
+func (t *Thread) Join(other *Thread) {
+	if other == t {
+		panic("sim: thread joining itself")
+	}
+	if other.state != stateDone {
+		t.joining = other
+		other.waiters = append(other.waiters, t)
+		t.state = stateBlocked
+		t.endBatch()
+		t.machine.switchToEngine(t)
+	}
+	if other.state != stateDone {
+		panic("sim: woke from Join before target finished")
+	}
+	t.clock = maxTime(t.clock, other.finish)
+	t.Charge(t.machine.cfg.Costs.JoinCost)
+}
+
+// Elapsed returns the simulated duration between the thread's first
+// instruction and its last (valid after the thread finished, or the running
+// duration so far).
+func (t *Thread) Elapsed() Time {
+	if t.state == stateDone {
+		return t.finish - t.start
+	}
+	return t.clock - t.start
+}
+
+// ElapsedSeconds converts Elapsed to seconds on the thread's machine.
+func (t *Thread) ElapsedSeconds() float64 {
+	return t.machine.Seconds(t.Elapsed())
+}
+
+// Finished reports whether the thread body has returned.
+func (t *Thread) Finished() bool { return t.state == stateDone }
+
+// run is the goroutine wrapper around the thread body.
+func (t *Thread) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(abortSignal); !isAbort {
+				t.panicked = r
+			}
+		}
+		t.finishThread()
+	}()
+	<-t.resume // wait for first dispatch
+	t.machine.checkAbort()
+	t.start = t.clock
+	t.body(t)
+}
+
+// finishThread marks the thread done and returns control to the engine.
+func (t *Thread) finishThread() {
+	t.state = stateDone
+	t.finish = t.clock
+	// Release any descheduled-holder markings; the thread can no longer
+	// complete a critical section.
+	for len(t.deschedHeld) > 0 {
+		t.deschedHeld[0].clearDescheduled()
+	}
+	t.machine.threadFinished(t)
+}
+
+// abortSignal is panicked through thread bodies when the machine aborts.
+type abortSignal struct{}

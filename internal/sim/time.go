@@ -1,0 +1,41 @@
+// Package sim implements a deterministic discrete-event simulation of a
+// small shared-memory multiprocessor: simulated threads, a CPU scheduler
+// with affinity and context-switch costs, and mutexes whose contention is
+// resolved analytically on a busy-timeline.
+//
+// The design targets the workloads of Lever & Boreham (USENIX 2000):
+// allocation-intensive loops whose interesting behaviour is lock contention,
+// lock convoys, scheduler interleaving past the CPU count, and cache-line
+// traffic. Simulated threads are goroutines that the engine resumes one at a
+// time; they yield cooperatively at operation-batch boundaries, so every run
+// is a pure function of the configuration seed.
+//
+// Accuracy trade-offs (documented in DESIGN.md §6): mutexes keep a monotonic
+// "busy until" horizon instead of a full interval set, critical sections
+// never span yield points, and involuntary preemption is modelled by
+// periodic quantum draws rather than by interrupting user code.
+package sim
+
+// Time is a point or duration in simulated CPU cycles. All costs in the
+// simulator are expressed in cycles of the simulated machine's clock; the
+// Machine converts to seconds using its configured clock rate.
+type Time int64
+
+// Infinity is a time later than any reachable simulation time.
+const Infinity Time = 1<<62 - 1
+
+// maxTime returns the later of two times.
+func maxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// minTime returns the earlier of two times.
+func minTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+// Package stats provides the small set of statistical tools the benchmark
+// harness needs: summary statistics over repeated runs, least-squares linear
+// fits for scalability slopes, and fixed-width histograms for fault-count
+// distributions. Only float64 slices are handled; callers convert.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary over xs. It panics on an empty sample: the
+// harness never produces one, so an empty input is a programming error.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String renders the summary in the paper's style: "26.040385, s=0.013097".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.6f, s=%.6f", s.Mean, s.Stddev)
+}
+
+// RelSpread returns (max-min)/min, the relative spread statistic the paper
+// uses for benchmark 2 ("between 25% and 50% of the measured minimum").
+// It returns 0 for a zero minimum to avoid dividing by zero.
+func (s Summary) RelSpread() float64 {
+	if s.Min == 0 {
+		return 0
+	}
+	return (s.Max - s.Min) / s.Min
+}
+
+// Fit is a least-squares line y = Intercept + Slope*x with goodness R2.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit computes the least-squares fit of ys against xs. It panics if
+// the slices differ in length or hold fewer than two points.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic("stats: LinearFit length mismatch")
+	}
+	if len(xs) < 2 {
+		panic("stats: LinearFit needs at least two points")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	f := Fit{Slope: sxy / sxx}
+	f.Intercept = my - f.Slope*mx
+	if syy == 0 {
+		f.R2 = 1
+	} else {
+		f.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return f
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi). Values outside
+// the range are clamped into the first or last bucket so no sample is lost.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Buckets)
+	i := int(float64(n) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Buckets[i]++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// Modes returns the indices of buckets holding at least frac of the total
+// count; it is how the harness detects the bimodal elapsed-time distribution
+// of the paper's Table 4.
+func (h *Histogram) Modes(frac float64) []int {
+	total := h.Total()
+	if total == 0 {
+		return nil
+	}
+	var modes []int
+	for i, b := range h.Buckets {
+		if float64(b) >= frac*float64(total) {
+			modes = append(modes, i)
+		}
+	}
+	return modes
+}
+
+// BucketCenter returns the midpoint value of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// MeanOf returns the mean of a plain slice; a convenience for callers that
+// do not need a full Summary.
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mtmalloc/internal/xrand"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almost(s.Mean, 5, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if !almost(s.Stddev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("Stddev = %v", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almost(s.Median, 4.5, 1e-12) {
+		t.Fatalf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.25})
+	if s.Mean != 3.25 || s.Stddev != 0 || s.Median != 3.25 {
+		t.Fatalf("bad single-sample summary: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty sample")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Mean: 26.040385, Stddev: 0.013097}
+	if got := s.String(); got != "26.040385, s=0.013097" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRelSpread(t *testing.T) {
+	s := Summary{Min: 400, Max: 500}
+	if !almost(s.RelSpread(), 0.25, 1e-12) {
+		t.Fatalf("RelSpread = %v", s.RelSpread())
+	}
+	z := Summary{Min: 0, Max: 10}
+	if z.RelSpread() != 0 {
+		t.Fatal("RelSpread with zero min should be 0")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 14 + 11.5*x
+	}
+	f := LinearFit(xs, ys)
+	if !almost(f.Slope, 11.5, 1e-9) || !almost(f.Intercept, 14, 1e-9) || !almost(f.R2, 1, 1e-9) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	r := xrand.New(1, 1)
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 3*x+10+(r.Float64()-0.5))
+	}
+	f := LinearFit(xs, ys)
+	if !almost(f.Slope, 3, 0.01) {
+		t.Fatalf("slope = %v", f.Slope)
+	}
+	if f.R2 < 0.999 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	cases := []func(){
+		func() { LinearFit([]float64{1}, []float64{1, 2}) },
+		func() { LinearFit([]float64{1}, []float64{1}) },
+		func() { LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-5) // clamps low
+	h.Add(50) // clamps high
+	if h.Total() != 12 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Buckets[0] != 2 || h.Buckets[9] != 2 {
+		t.Fatalf("clamping failed: %v", h.Buckets)
+	}
+	if c := h.BucketCenter(0); !almost(c, 0.5, 1e-12) {
+		t.Fatalf("BucketCenter(0) = %v", c)
+	}
+}
+
+func TestHistogramModesBimodal(t *testing.T) {
+	// Emulate Table 4: two-thirds of runs near 12.6, one-third near 14.8.
+	h := NewHistogram(12, 16, 8)
+	for i := 0; i < 10; i++ {
+		h.Add(12.6)
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(14.8)
+	}
+	modes := h.Modes(0.25)
+	if len(modes) != 2 {
+		t.Fatalf("expected 2 modes, got %v", modes)
+	}
+}
+
+func TestHistogramModesEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if m := h.Modes(0.5); m != nil {
+		t.Fatalf("modes of empty histogram: %v", m)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Fatal("MeanOf(nil) != 0")
+	}
+	if !almost(MeanOf([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("MeanOf wrong")
+	}
+}
+
+// Property: summarize of a shifted sample shifts mean and bounds, keeps stddev.
+func TestSummarizeShiftProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed, 0)
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		shift := 37.5
+		shifted := make([]float64, n)
+		for i := range xs {
+			shifted[i] = xs[i] + shift
+		}
+		a, b := Summarize(xs), Summarize(shifted)
+		return almost(b.Mean, a.Mean+shift, 1e-9) &&
+			almost(b.Stddev, a.Stddev, 1e-9) &&
+			almost(b.Min, a.Min+shift, 1e-9) &&
+			almost(b.Max, a.Max+shift, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package trace records and replays allocation traces — the paper's §6
+// future work ("we plan to test our assumptions about the allocation
+// patterns of large-scale network servers by instrumenting heavily used
+// servers to generate trace data").
+//
+// A trace is a sequence of slot-based operations: Alloc(size) fills the
+// next free slot, Free releases a previously filled slot. Slot indirection
+// makes traces replayable against any allocator, because recorded addresses
+// would be meaningless on replay. The binary format is a small
+// varint-encoded stream with a magic header, written and read with nothing
+// but the standard library.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mtmalloc/internal/malloc"
+	"mtmalloc/internal/sim"
+)
+
+// OpKind discriminates trace operations.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpAlloc OpKind = 1
+	OpFree  OpKind = 2
+)
+
+// Op is one traced allocator operation. Thread is a dense thread index so
+// multi-threaded traces can be replayed with the same assignment of work to
+// threads. Slot identifies the object across its lifetime.
+type Op struct {
+	Kind   OpKind
+	Thread uint32
+	Slot   uint32
+	Size   uint32 // valid for OpAlloc
+}
+
+const magic = "mtmtrace1\n"
+
+// Writer streams operations to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	began bool
+	n     int
+}
+
+// NewWriter creates a trace writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one operation.
+func (tw *Writer) Write(op Op) error {
+	if !tw.began {
+		if _, err := tw.w.WriteString(magic); err != nil {
+			return err
+		}
+		tw.began = true
+	}
+	var buf [1 + 3*binary.MaxVarintLen32]byte
+	buf[0] = byte(op.Kind)
+	n := 1
+	n += binary.PutUvarint(buf[n:], uint64(op.Thread))
+	n += binary.PutUvarint(buf[n:], uint64(op.Slot))
+	if op.Kind == OpAlloc {
+		n += binary.PutUvarint(buf[n:], uint64(op.Size))
+	}
+	if _, err := tw.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Flush completes the stream.
+func (tw *Writer) Flush() error {
+	if !tw.began {
+		if _, err := tw.w.WriteString(magic); err != nil {
+			return err
+		}
+		tw.began = true
+	}
+	return tw.w.Flush()
+}
+
+// Count returns how many operations have been written.
+func (tw *Writer) Count() int { return tw.n }
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader creates a trace reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next operation or io.EOF.
+func (tr *Reader) Read() (Op, error) {
+	if !tr.header {
+		got := make([]byte, len(magic))
+		if _, err := io.ReadFull(tr.r, got); err != nil {
+			return Op{}, fmt.Errorf("trace: reading header: %w", err)
+		}
+		if string(got) != magic {
+			return Op{}, errors.New("trace: bad magic")
+		}
+		tr.header = true
+	}
+	k, err := tr.r.ReadByte()
+	if err != nil {
+		return Op{}, err
+	}
+	op := Op{Kind: OpKind(k)}
+	if op.Kind != OpAlloc && op.Kind != OpFree {
+		return Op{}, fmt.Errorf("trace: unknown op kind %d", k)
+	}
+	// EOF inside a record is corruption, not a clean end of stream.
+	field := func(name string) (uint64, error) {
+		v, err := binary.ReadUvarint(tr.r)
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		if err != nil {
+			return 0, fmt.Errorf("trace: %s: %w", name, err)
+		}
+		return v, nil
+	}
+	t, err := field("thread")
+	if err != nil {
+		return Op{}, err
+	}
+	s, err := field("slot")
+	if err != nil {
+		return Op{}, err
+	}
+	op.Thread, op.Slot = uint32(t), uint32(s)
+	if op.Kind == OpAlloc {
+		sz, err := field("size")
+		if err != nil {
+			return Op{}, err
+		}
+		op.Size = uint32(sz)
+	}
+	return op, nil
+}
+
+// ReadAll decodes every operation.
+func (tr *Reader) ReadAll() ([]Op, error) {
+	var ops []Op
+	for {
+		op, err := tr.Read()
+		if errors.Is(err, io.EOF) {
+			return ops, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+}
+
+// Recorder wraps an Allocator, capturing every Malloc/Free as a trace
+// while passing the calls through.
+type Recorder struct {
+	Al malloc.Allocator
+	W  *Writer
+
+	thread  map[int]uint32 // sim thread ID -> dense trace thread
+	slotOf  map[uint64]uint32
+	free    []uint32
+	nextSlt uint32
+	err     error
+}
+
+// NewRecorder wraps al, writing the trace to w.
+func NewRecorder(al malloc.Allocator, w io.Writer) *Recorder {
+	return &Recorder{
+		Al:     al,
+		W:      NewWriter(w),
+		thread: make(map[int]uint32),
+		slotOf: make(map[uint64]uint32),
+	}
+}
+
+func (r *Recorder) threadIdx(t *sim.Thread) uint32 {
+	if idx, ok := r.thread[t.ID()]; ok {
+		return idx
+	}
+	idx := uint32(len(r.thread))
+	r.thread[t.ID()] = idx
+	return idx
+}
+
+// Malloc allocates and records.
+func (r *Recorder) Malloc(t *sim.Thread, size uint32) (uint64, error) {
+	p, err := r.Al.Malloc(t, size)
+	if err != nil {
+		return p, err
+	}
+	var slot uint32
+	if n := len(r.free); n > 0 {
+		slot = r.free[n-1]
+		r.free = r.free[:n-1]
+	} else {
+		slot = r.nextSlt
+		r.nextSlt++
+	}
+	r.slotOf[p] = slot
+	if werr := r.W.Write(Op{Kind: OpAlloc, Thread: r.threadIdx(t), Slot: slot, Size: size}); werr != nil && r.err == nil {
+		r.err = werr
+	}
+	return p, nil
+}
+
+// Free releases and records.
+func (r *Recorder) Free(t *sim.Thread, mem uint64) error {
+	slot, ok := r.slotOf[mem]
+	if !ok {
+		return fmt.Errorf("trace: free of unrecorded address 0x%x", mem)
+	}
+	if err := r.Al.Free(t, mem); err != nil {
+		return err
+	}
+	delete(r.slotOf, mem)
+	r.free = append(r.free, slot)
+	if werr := r.W.Write(Op{Kind: OpFree, Thread: r.threadIdx(t), Slot: slot}); werr != nil && r.err == nil {
+		r.err = werr
+	}
+	return nil
+}
+
+// Close flushes the trace and reports any deferred write error.
+func (r *Recorder) Close() error {
+	if err := r.W.Flush(); err != nil {
+		return err
+	}
+	return r.err
+}
+
+// Replay runs a trace against al from a single simulated thread (thread
+// structure is preserved in the trace but replay serializes, which is the
+// standard way trace-driven allocator studies are run; the paper §2 calls
+// these "more complex trace-driven allocator simulations").
+func Replay(t *sim.Thread, al malloc.Allocator, ops []Op) error {
+	addr := make(map[uint32]uint64)
+	for i, op := range ops {
+		switch op.Kind {
+		case OpAlloc:
+			p, err := al.Malloc(t, op.Size)
+			if err != nil {
+				return fmt.Errorf("trace: replay op %d: %w", i, err)
+			}
+			addr[op.Slot] = p
+		case OpFree:
+			p, ok := addr[op.Slot]
+			if !ok {
+				return fmt.Errorf("trace: replay op %d frees empty slot %d", i, op.Slot)
+			}
+			if err := al.Free(t, p); err != nil {
+				return fmt.Errorf("trace: replay op %d: %w", i, err)
+			}
+			delete(addr, op.Slot)
+		default:
+			return fmt.Errorf("trace: replay op %d: unknown kind", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,550 @@
+// Package vm simulates the virtual-memory subsystem the paper's allocator
+// sits on: a 32-bit-style address space with a program image, a brk segment
+// that cannot grow past the shared-library mapping (the sbrk limitation
+// discussed in §3 of the paper), an anonymous-mmap area, per-thread stacks,
+// and first-touch minor-page-fault accounting — the metric of benchmark 2.
+//
+// All allocator metadata and user data live in real bytes inside the
+// simulated pages; chunk headers are read and written through the typed
+// accessors below, which charge the machine's cache model per access and
+// service page faults on first touch. Unmapping (munmap, negative sbrk)
+// discards page contents and cache lines, so re-extension faults again,
+// exactly as Linux behaves.
+package vm
+
+import (
+	"fmt"
+
+	"mtmalloc/internal/cache"
+	"mtmalloc/internal/sim"
+)
+
+// PageSize is the simulated page size. The paper's machines all used 4 KB
+// pages; benchmark 2's 127.6-pages-per-thread constant depends on it.
+const PageSize = 4096
+
+// Standard 32-bit Linux-like layout constants.
+const (
+	TextBase  = 0x08048000
+	DataBase  = 0x08100000 // brk starts here
+	LibBase   = 0x40000000 // shared C library mapping: the sbrk barrier
+	LibSize   = 0x00400000
+	MmapBase  = LibBase + LibSize
+	StackTop  = 0xC0000000
+	StackSize = 128 * 1024 // per-thread stack reservation
+)
+
+// Kind classifies a virtual memory area.
+type Kind int
+
+const (
+	KindText Kind = iota
+	KindData
+	KindBrk
+	KindAnon
+	KindLib
+	KindStack
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindText:
+		return "text"
+	case KindData:
+		return "data"
+	case KindBrk:
+		return "brk"
+	case KindAnon:
+		return "anon"
+	case KindLib:
+		return "lib"
+	case KindStack:
+		return "stack"
+	}
+	return "?"
+}
+
+// VMA is one mapped region [Start, End).
+type VMA struct {
+	Start, End uint64
+	Kind       Kind
+	Name       string
+}
+
+// Costs is the VM-level cycle cost model.
+type Costs struct {
+	Syscall    int64 // entering/leaving the kernel for sbrk/mmap/munmap
+	KernelHold int64 // cycles the kernel lock is held per VM syscall
+	PageFault  int64 // servicing one minor fault
+}
+
+// DefaultCosts returns constants for a late-1990s x86 kernel.
+func DefaultCosts() Costs {
+	return Costs{Syscall: 700, KernelHold: 900, PageFault: 1500}
+}
+
+// Stats counts VM events for one address space.
+type Stats struct {
+	MinorFaults  uint64
+	SbrkCalls    uint64
+	SbrkFails    uint64
+	SbrkGrow     uint64 // bytes
+	SbrkShrink   uint64 // bytes
+	MmapCalls    uint64
+	MunmapCalls  uint64
+	MappedBytes  uint64 // current anonymous+brk extent
+	PeakMapped   uint64
+	PagesPresent uint64
+}
+
+// Fault is panicked (and surfaced as a machine error) on an access outside
+// any VMA: the simulated equivalent of SIGSEGV, which in this codebase
+// always indicates an allocator bug.
+type Fault struct {
+	Space uint32
+	Addr  uint64
+	Op    string
+}
+
+func (f Fault) Error() string {
+	return fmt.Sprintf("vm: segmentation fault: space %d %s 0x%x", f.Space, f.Op, f.Addr)
+}
+
+// AddressSpace is one simulated process image.
+type AddressSpace struct {
+	ID    uint32
+	mach  *sim.Machine
+	cache *cache.Model
+	costs Costs
+
+	vmas []VMA // sorted by Start, non-overlapping
+	brk  uint64
+
+	pages map[uint64][]byte
+	// one-entry page lookup cache: allocator loops touch few pages.
+	lastIdx  uint64
+	lastPage []byte
+
+	// mmLock serializes faults and mapping changes among threads of this
+	// address space (mmap_sem). kernelLock models the kernel-side lock for
+	// VM syscalls; it may be shared between address spaces to reproduce the
+	// pre-2.3.x global-kernel-lock behaviour the authors patched.
+	mmLock     *sim.Mutex
+	kernelLock *sim.Mutex
+
+	mmapHint  uint64
+	stackHint uint64
+
+	stats Stats
+}
+
+// Option configures an AddressSpace.
+type Option func(*AddressSpace)
+
+// WithKernelLock makes the space contend on a shared kernel lock for VM
+// syscalls (ablation A6); by default each space has a private one.
+func WithKernelLock(mu *sim.Mutex) Option {
+	return func(as *AddressSpace) { as.kernelLock = mu }
+}
+
+// WithCosts overrides the VM cost model.
+func WithCosts(c Costs) Option {
+	return func(as *AddressSpace) { as.costs = c }
+}
+
+// New creates an address space with the standard layout on machine m,
+// charging cache traffic to model.
+func New(id uint32, m *sim.Machine, model *cache.Model, opts ...Option) *AddressSpace {
+	as := &AddressSpace{
+		ID:        id,
+		mach:      m,
+		cache:     model,
+		costs:     DefaultCosts(),
+		brk:       DataBase,
+		pages:     make(map[uint64][]byte, 256),
+		mmapHint:  MmapBase,
+		stackHint: StackTop,
+	}
+	as.vmas = []VMA{
+		{Start: TextBase, End: TextBase + 0x60000, Kind: KindText, Name: "text"},
+		{Start: DataBase, End: DataBase, Kind: KindBrk, Name: "brk"},
+		{Start: LibBase, End: LibBase + LibSize, Kind: KindLib, Name: "libc.so"},
+	}
+	for _, o := range opts {
+		o(as)
+	}
+	as.mmLock = m.NewMutex(fmt.Sprintf("mm.%d", id))
+	if as.kernelLock == nil {
+		as.kernelLock = m.NewMutex(fmt.Sprintf("kernel.%d", id))
+	}
+	return as
+}
+
+// Machine returns the machine this space belongs to.
+func (as *AddressSpace) Machine() *sim.Machine { return as.mach }
+
+// Cache returns the cache model shared by the machine.
+func (as *AddressSpace) Cache() *cache.Model { return as.cache }
+
+// Brk returns the current program break.
+func (as *AddressSpace) Brk() uint64 { return as.brk }
+
+// Stats returns a snapshot of the VM statistics.
+func (as *AddressSpace) Stats() Stats {
+	s := as.stats
+	s.PagesPresent = uint64(len(as.pages))
+	return s
+}
+
+// VMAs returns a copy of the current mapping list.
+func (as *AddressSpace) VMAs() []VMA {
+	return append([]VMA(nil), as.vmas...)
+}
+
+// findVMA returns the index of the VMA containing addr, or -1.
+func (as *AddressSpace) findVMA(addr uint64) int {
+	lo, hi := 0, len(as.vmas)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		v := as.vmas[mid]
+		switch {
+		case addr < v.Start:
+			hi = mid
+		case addr >= v.End:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// mapped reports whether addr lies in a VMA (the brk VMA covers
+// [DataBase, brk)).
+func (as *AddressSpace) mapped(addr uint64) bool {
+	return as.findVMA(addr) >= 0
+}
+
+// insertVMA adds a region, keeping the list sorted. It panics on overlap:
+// mapping decisions are made by this package, so overlap is internal error.
+func (as *AddressSpace) insertVMA(v VMA) {
+	i := 0
+	for i < len(as.vmas) && as.vmas[i].Start < v.Start {
+		i++
+	}
+	if i > 0 && as.vmas[i-1].End > v.Start {
+		panic(fmt.Sprintf("vm: overlapping mapping %x-%x vs %x-%x", v.Start, v.End, as.vmas[i-1].Start, as.vmas[i-1].End))
+	}
+	if i < len(as.vmas) && v.End > as.vmas[i].Start {
+		panic(fmt.Sprintf("vm: overlapping mapping %x-%x vs %x-%x", v.Start, v.End, as.vmas[i].Start, as.vmas[i].End))
+	}
+	as.vmas = append(as.vmas, VMA{})
+	copy(as.vmas[i+1:], as.vmas[i:])
+	as.vmas[i] = v
+}
+
+// vmSyscall charges the cost of entering a VM syscall and holding the
+// kernel lock. Contention on this lock is what the authors' sbrk kernel
+// patch removed.
+func (as *AddressSpace) vmSyscall(t *sim.Thread) {
+	t.Charge(sim.Time(as.costs.Syscall))
+	t.Lock(as.kernelLock)
+	t.Charge(sim.Time(as.costs.KernelHold))
+	t.Unlock(as.kernelLock)
+}
+
+// Sbrk grows or shrinks the brk segment by delta bytes and returns the old
+// break. Growth fails (like the real sbrk) when it would run into the next
+// mapping — the shared C library in the standard layout.
+func (as *AddressSpace) Sbrk(t *sim.Thread, delta int64) (uint64, error) {
+	as.vmSyscall(t)
+	as.stats.SbrkCalls++
+	old := as.brk
+	switch {
+	case delta == 0:
+		return old, nil
+	case delta > 0:
+		newBrk := as.brk + uint64(delta)
+		// The next VMA above the brk area bounds growth.
+		for _, v := range as.vmas {
+			if v.Kind != KindBrk && v.Start >= DataBase && newBrk > v.Start {
+				as.stats.SbrkFails++
+				return 0, fmt.Errorf("vm: sbrk(%d) would collide with %s at 0x%x", delta, v.Name, v.Start)
+			}
+		}
+		as.brk = newBrk
+		as.stats.SbrkGrow += uint64(delta)
+		as.setBrkVMA()
+		as.accountMapped(int64(delta))
+		return old, nil
+	default:
+		shrink := uint64(-delta)
+		if shrink > as.brk-DataBase {
+			as.stats.SbrkFails++
+			return 0, fmt.Errorf("vm: sbrk(%d) below data base", delta)
+		}
+		newBrk := as.brk - shrink
+		as.dropPages(pageFloor(newBrk+PageSize-1), as.brk)
+		as.brk = newBrk
+		as.stats.SbrkShrink += shrink
+		as.setBrkVMA()
+		as.accountMapped(delta)
+		return old, nil
+	}
+}
+
+func (as *AddressSpace) setBrkVMA() {
+	for i := range as.vmas {
+		if as.vmas[i].Kind == KindBrk {
+			as.vmas[i].End = as.brk
+			return
+		}
+	}
+}
+
+func (as *AddressSpace) accountMapped(delta int64) {
+	as.stats.MappedBytes = uint64(int64(as.stats.MappedBytes) + delta)
+	if as.stats.MappedBytes > as.stats.PeakMapped {
+		as.stats.PeakMapped = as.stats.MappedBytes
+	}
+}
+
+// Mmap creates an anonymous mapping of length bytes (rounded to pages) and
+// returns its address. The search is first-fit from the mmap base, like the
+// 2.2 kernel's get_unmapped_area.
+func (as *AddressSpace) Mmap(t *sim.Thread, length uint64, name string) (uint64, error) {
+	if length == 0 {
+		return 0, fmt.Errorf("vm: mmap of zero length")
+	}
+	as.vmSyscall(t)
+	as.stats.MmapCalls++
+	length = pageCeil(length)
+	addr := as.findFree(length)
+	if addr == 0 {
+		return 0, fmt.Errorf("vm: mmap(%d): address space exhausted", length)
+	}
+	as.insertVMA(VMA{Start: addr, End: addr + length, Kind: KindAnon, Name: name})
+	as.accountMapped(int64(length))
+	return addr, nil
+}
+
+// findFree locates a gap of the given size in the mmap region.
+func (as *AddressSpace) findFree(length uint64) uint64 {
+	limit := as.stackHint - 64*PageSize // keep clear of stacks
+	addr := as.mmapHint
+	for addr+length <= limit {
+		conflict := false
+		for _, v := range as.vmas {
+			if addr < v.End && v.Start < addr+length {
+				addr = pageCeil(v.End)
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			return addr
+		}
+	}
+	return 0
+}
+
+// Munmap removes [addr, addr+length) from the space, discarding pages and
+// cache lines. The range must exactly cover parts of existing anonymous or
+// stack mappings.
+func (as *AddressSpace) Munmap(t *sim.Thread, addr, length uint64) error {
+	if addr%PageSize != 0 || length == 0 {
+		return fmt.Errorf("vm: munmap(0x%x, %d): bad alignment", addr, length)
+	}
+	as.vmSyscall(t)
+	as.stats.MunmapCalls++
+	length = pageCeil(length)
+	end := addr + length
+	var out []VMA
+	removed := uint64(0)
+	for _, v := range as.vmas {
+		if v.End <= addr || v.Start >= end || (v.Kind != KindAnon && v.Kind != KindStack) {
+			out = append(out, v)
+			continue
+		}
+		// Keep the pieces outside [addr, end).
+		if v.Start < addr {
+			out = append(out, VMA{Start: v.Start, End: addr, Kind: v.Kind, Name: v.Name})
+		}
+		if v.End > end {
+			out = append(out, VMA{Start: end, End: v.End, Kind: v.Kind, Name: v.Name})
+		}
+		lo, hi := maxU64(v.Start, addr), minU64(v.End, end)
+		removed += hi - lo
+	}
+	if removed == 0 {
+		return fmt.Errorf("vm: munmap(0x%x, %d): no mapping there", addr, length)
+	}
+	as.vmas = out
+	as.dropPages(addr, end)
+	as.accountMapped(-int64(removed))
+	return nil
+}
+
+// dropPages discards backing pages and cache lines for [lo, hi).
+func (as *AddressSpace) dropPages(lo, hi uint64) {
+	if hi <= lo {
+		return
+	}
+	for p := pageFloor(lo); p < hi; p += PageSize {
+		delete(as.pages, p/PageSize)
+	}
+	as.cache.DropRange(as.ID, lo, hi-lo)
+	as.lastPage = nil
+}
+
+// AllocStack reserves a stack VMA for a new thread and touches its top
+// page, producing the one minor fault per pthread_create that benchmark 2's
+// predictor charges per round.
+func (as *AddressSpace) AllocStack(t *sim.Thread, name string) (uint64, error) {
+	as.vmSyscall(t)
+	as.stats.MmapCalls++
+	top := as.stackHint
+	base := top - StackSize
+	as.stackHint = base - PageSize // guard gap
+	as.insertVMA(VMA{Start: base, End: top, Kind: KindStack, Name: name})
+	as.accountMapped(StackSize)
+	// Stacks grow down: first touch hits the top page.
+	as.Write64(t, top-8, 0)
+	return top, nil
+}
+
+// page returns the backing page for addr, faulting it in on first touch.
+func (as *AddressSpace) page(t *sim.Thread, addr uint64, op string) []byte {
+	idx := addr / PageSize
+	if as.lastPage != nil && as.lastIdx == idx {
+		return as.lastPage
+	}
+	p, ok := as.pages[idx]
+	if !ok {
+		if !as.mapped(addr) {
+			panic(Fault{Space: as.ID, Addr: addr, Op: op})
+		}
+		// Minor fault: serialize on the address-space lock, charge service
+		// time, and materialize a zero page.
+		t.Lock(as.mmLock)
+		t.Charge(sim.Time(as.costs.PageFault))
+		t.Unlock(as.mmLock)
+		as.stats.MinorFaults++
+		p = make([]byte, PageSize)
+		as.pages[idx] = p
+	}
+	as.lastIdx, as.lastPage = idx, p
+	return p
+}
+
+// charge bills one cache access for addr.
+func (as *AddressSpace) charge(t *sim.Thread, addr uint64, write bool) {
+	c := as.cache.Access(t.CPU(), as.cache.Key(as.ID, addr), write)
+	t.Charge(sim.Time(c))
+}
+
+// Read32 loads a little-endian uint32.
+func (as *AddressSpace) Read32(t *sim.Thread, addr uint64) uint32 {
+	p := as.page(t, addr, "read32")
+	as.charge(t, addr, false)
+	o := addr % PageSize
+	if o+4 > PageSize {
+		panic(Fault{Space: as.ID, Addr: addr, Op: "read32-split"})
+	}
+	return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+}
+
+// Write32 stores a little-endian uint32.
+func (as *AddressSpace) Write32(t *sim.Thread, addr uint64, v uint32) {
+	p := as.page(t, addr, "write32")
+	as.charge(t, addr, true)
+	o := addr % PageSize
+	if o+4 > PageSize {
+		panic(Fault{Space: as.ID, Addr: addr, Op: "write32-split"})
+	}
+	p[o] = byte(v)
+	p[o+1] = byte(v >> 8)
+	p[o+2] = byte(v >> 16)
+	p[o+3] = byte(v >> 24)
+}
+
+// Read64 loads a little-endian uint64.
+func (as *AddressSpace) Read64(t *sim.Thread, addr uint64) uint64 {
+	lo := as.Read32(t, addr)
+	hi := as.Read32(t, addr+4)
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// Write64 stores a little-endian uint64.
+func (as *AddressSpace) Write64(t *sim.Thread, addr uint64, v uint64) {
+	as.Write32(t, addr, uint32(v))
+	as.Write32(t, addr+4, uint32(v>>32))
+}
+
+// Write8 stores one byte (benchmark 3's write primitive).
+func (as *AddressSpace) Write8(t *sim.Thread, addr uint64, v byte) {
+	p := as.page(t, addr, "write8")
+	as.charge(t, addr, true)
+	p[addr%PageSize] = v
+}
+
+// Read8 loads one byte.
+func (as *AddressSpace) Read8(t *sim.Thread, addr uint64) byte {
+	p := as.page(t, addr, "read8")
+	as.charge(t, addr, false)
+	return p[addr%PageSize]
+}
+
+// Peek32 reads a little-endian uint32 without charging simulated costs or
+// faulting pages in: untouched pages read as zero. It exists for integrity
+// checkers and debuggers that must not perturb the simulation.
+func (as *AddressSpace) Peek32(addr uint64) uint32 {
+	p, ok := as.pages[addr/PageSize]
+	if !ok {
+		return 0
+	}
+	o := addr % PageSize
+	if o+4 > PageSize {
+		return 0
+	}
+	return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+}
+
+// Peek8 reads one byte without charges or faults.
+func (as *AddressSpace) Peek8(addr uint64) byte {
+	p, ok := as.pages[addr/PageSize]
+	if !ok {
+		return 0
+	}
+	return p[addr%PageSize]
+}
+
+// Touch faults in the page containing addr without a data access charge
+// beyond one read; used to model program startup touching its image.
+func (as *AddressSpace) Touch(t *sim.Thread, addr uint64) {
+	as.Read8(t, addr)
+}
+
+// TouchRange faults in every page of [addr, addr+length).
+func (as *AddressSpace) TouchRange(t *sim.Thread, addr, length uint64) {
+	for a := pageFloor(addr); a < addr+length; a += PageSize {
+		as.Touch(t, a)
+	}
+}
+
+func pageFloor(a uint64) uint64 { return a &^ (PageSize - 1) }
+func pageCeil(a uint64) uint64  { return (a + PageSize - 1) &^ (PageSize - 1) }
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

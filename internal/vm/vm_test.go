@@ -1,0 +1,418 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mtmalloc/internal/cache"
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/xrand"
+)
+
+func testSetup(cpus int) (*sim.Machine, *cache.Model) {
+	m := sim.NewMachine(sim.Config{CPUs: cpus, ClockMHz: 100, Seed: 1})
+	return m, cache.NewModel(cpus, 5, cache.DefaultCosts())
+}
+
+// runAS executes body on a fresh machine/address-space pair.
+func runAS(t *testing.T, body func(th *sim.Thread, as *AddressSpace)) *AddressSpace {
+	t.Helper()
+	m, c := testSetup(1)
+	as := New(1, m, c)
+	if err := m.Run(func(th *sim.Thread) { body(th, as) }); err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func TestSbrkGrowAndReadWrite(t *testing.T) {
+	as := runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		old, err := as.Sbrk(th, 8192)
+		if err != nil {
+			t.Errorf("sbrk: %v", err)
+			return
+		}
+		if old != DataBase {
+			t.Errorf("old brk = %x, want %x", old, uint64(DataBase))
+		}
+		as.Write32(th, old, 0xdeadbeef)
+		as.Write64(th, old+8, 0x1122334455667788)
+		if got := as.Read32(th, old); got != 0xdeadbeef {
+			t.Errorf("Read32 = %x", got)
+		}
+		if got := as.Read64(th, old+8); got != 0x1122334455667788 {
+			t.Errorf("Read64 = %x", got)
+		}
+	})
+	if as.Stats().SbrkCalls != 1 {
+		t.Fatalf("SbrkCalls = %d", as.Stats().SbrkCalls)
+	}
+}
+
+func TestMinorFaultPerPage(t *testing.T) {
+	as := runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		base, err := as.Sbrk(th, 10*PageSize)
+		if err != nil {
+			t.Errorf("sbrk: %v", err)
+			return
+		}
+		for i := uint64(0); i < 10; i++ {
+			as.Write8(th, base+i*PageSize, 1)   // first touch faults
+			as.Write8(th, base+i*PageSize+1, 2) // same page: no fault
+		}
+	})
+	if got := as.Stats().MinorFaults; got != 10 {
+		t.Fatalf("MinorFaults = %d, want 10", got)
+	}
+}
+
+func TestSbrkBlockedByLibrary(t *testing.T) {
+	// The brk segment cannot grow past the libc mapping at LibBase: the
+	// paper's §3 address-space fragmentation failure.
+	as := runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		room := int64(LibBase - DataBase)
+		if _, err := as.Sbrk(th, room+PageSize); err == nil {
+			t.Error("sbrk past library mapping succeeded")
+		}
+		// Growth that stops short of the library must still work.
+		if _, err := as.Sbrk(th, room/2); err != nil {
+			t.Errorf("in-bounds sbrk failed: %v", err)
+		}
+	})
+	if as.Stats().SbrkFails != 1 {
+		t.Fatalf("SbrkFails = %d", as.Stats().SbrkFails)
+	}
+}
+
+func TestSbrkShrinkDiscardsPages(t *testing.T) {
+	runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		base, _ := as.Sbrk(th, 4*PageSize)
+		for i := uint64(0); i < 4; i++ {
+			as.Write8(th, base+i*PageSize, 0xff)
+		}
+		before := as.Stats().MinorFaults
+		if before != 4 {
+			t.Errorf("faults before shrink = %d", before)
+		}
+		if _, err := as.Sbrk(th, -2*PageSize); err != nil {
+			t.Errorf("shrink: %v", err)
+			return
+		}
+		// Regrow and touch: the discarded pages fault again and are zeroed.
+		if _, err := as.Sbrk(th, 2*PageSize); err != nil {
+			t.Errorf("regrow: %v", err)
+			return
+		}
+		if got := as.Read8(th, base+2*PageSize); got != 0 {
+			t.Errorf("refaulted page not zeroed: %x", got)
+		}
+		if got := as.Read8(th, base+3*PageSize); got != 0 {
+			t.Errorf("refaulted page not zeroed: %x", got)
+		}
+		if as.Stats().MinorFaults != before+2 {
+			t.Errorf("faults after regrow = %d, want %d", as.Stats().MinorFaults, before+2)
+		}
+	})
+}
+
+func TestSbrkShrinkBelowBaseFails(t *testing.T) {
+	runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		if _, err := as.Sbrk(th, -PageSize); err == nil {
+			t.Error("shrink below data base succeeded")
+		}
+	})
+}
+
+func TestMmapMunmap(t *testing.T) {
+	as := runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		a, err := as.Mmap(th, 3*PageSize, "arena")
+		if err != nil {
+			t.Errorf("mmap: %v", err)
+			return
+		}
+		if a < MmapBase {
+			t.Errorf("mmap address %x below mmap base", a)
+		}
+		as.Write32(th, a, 42)
+		b, err := as.Mmap(th, PageSize, "arena2")
+		if err != nil {
+			t.Errorf("mmap2: %v", err)
+			return
+		}
+		if b < a+3*PageSize {
+			t.Errorf("mappings overlap: %x vs %x", a, b)
+		}
+		if err := as.Munmap(th, a, 3*PageSize); err != nil {
+			t.Errorf("munmap: %v", err)
+		}
+	})
+	st := as.Stats()
+	if st.MmapCalls != 2 || st.MunmapCalls != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMunmapReusesAddressSpace(t *testing.T) {
+	runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		a, _ := as.Mmap(th, 2*PageSize, "x")
+		as.Write32(th, a, 7)
+		if err := as.Munmap(th, a, 2*PageSize); err != nil {
+			t.Errorf("munmap: %v", err)
+			return
+		}
+		b, err := as.Mmap(th, 2*PageSize, "y")
+		if err != nil {
+			t.Errorf("re-mmap: %v", err)
+			return
+		}
+		if b != a {
+			t.Errorf("first-fit should reuse freed range: got %x, had %x", b, a)
+		}
+		if got := as.Read32(th, b); got != 0 {
+			t.Errorf("recycled mapping not zeroed: %d", got)
+		}
+	})
+}
+
+func TestMunmapPartialSplitsVMA(t *testing.T) {
+	runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		a, _ := as.Mmap(th, 4*PageSize, "big")
+		// Unmap the middle two pages.
+		if err := as.Munmap(th, a+PageSize, 2*PageSize); err != nil {
+			t.Errorf("munmap middle: %v", err)
+			return
+		}
+		as.Write8(th, a, 1)            // head still mapped
+		as.Write8(th, a+3*PageSize, 1) // tail still mapped
+		var vmaCount int
+		for _, v := range as.VMAs() {
+			if v.Name == "big" {
+				vmaCount++
+			}
+		}
+		if vmaCount != 2 {
+			t.Errorf("split produced %d pieces, want 2", vmaCount)
+		}
+	})
+}
+
+func TestMunmapUnmappedFails(t *testing.T) {
+	runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		if err := as.Munmap(th, MmapBase+0x100000, PageSize); err == nil {
+			t.Error("munmap of unmapped range succeeded")
+		}
+	})
+}
+
+func TestSegfaultSurfacesAsError(t *testing.T) {
+	m, c := testSetup(1)
+	as := New(1, m, c)
+	err := m.Run(func(th *sim.Thread) {
+		as.Read32(th, 0x1000) // below text: unmapped
+	})
+	if err == nil || !strings.Contains(err.Error(), "segmentation fault") {
+		t.Fatalf("err = %v, want segfault", err)
+	}
+}
+
+func TestAllocStackFaultsOnePage(t *testing.T) {
+	as := runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		before := as.Stats().MinorFaults
+		top, err := as.AllocStack(th, "w1")
+		if err != nil {
+			t.Errorf("AllocStack: %v", err)
+			return
+		}
+		if top%PageSize != 0 {
+			t.Errorf("stack top %x not page aligned", top)
+		}
+		if as.Stats().MinorFaults != before+1 {
+			t.Errorf("stack alloc faulted %d pages, want 1", as.Stats().MinorFaults-before)
+		}
+		// A second stack must not overlap the first.
+		top2, _ := as.AllocStack(th, "w2")
+		if top2+StackSize > top-StackSize && top2 <= top {
+			// top2's range is [top2-StackSize, top2); ensure disjoint.
+			if top2 > top-StackSize {
+				t.Errorf("stacks overlap: %x vs %x", top, top2)
+			}
+		}
+	})
+	_ = as
+}
+
+func TestTwoSpacesIsolated(t *testing.T) {
+	m, c := testSetup(2)
+	as1 := New(1, m, c)
+	as2 := New(2, m, c)
+	err := m.Run(func(th *sim.Thread) {
+		a1, _ := as1.Sbrk(th, PageSize)
+		a2, _ := as2.Sbrk(th, PageSize)
+		if a1 != a2 {
+			t.Errorf("identical layouts should give identical brks: %x vs %x", a1, a2)
+		}
+		as1.Write32(th, a1, 111)
+		as2.Write32(th, a2, 222)
+		if as1.Read32(th, a1) != 111 || as2.Read32(th, a2) != 222 {
+			t.Error("address spaces share backing store")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelLockShared(t *testing.T) {
+	// With a shared kernel lock, concurrent sbrk from two spaces contends.
+	m, c := testSetup(2)
+	shared := m.NewMutex("kernel")
+	as1 := New(1, m, c, WithKernelLock(shared))
+	as2 := New(2, m, c, WithKernelLock(shared))
+	err := m.Run(func(main *sim.Thread) {
+		w1 := main.Spawn("p1", func(th *sim.Thread) {
+			for i := 0; i < 300; i++ {
+				if _, err := as1.Sbrk(th, PageSize); err != nil {
+					t.Errorf("sbrk: %v", err)
+					return
+				}
+				th.MaybeYield()
+			}
+		})
+		w2 := main.Spawn("p2", func(th *sim.Thread) {
+			for i := 0; i < 300; i++ {
+				if _, err := as2.Sbrk(th, PageSize); err != nil {
+					t.Errorf("sbrk: %v", err)
+					return
+				}
+				th.MaybeYield()
+			}
+		})
+		main.Join(w1)
+		main.Join(w2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Acquisitions < 600 {
+		t.Fatalf("kernel lock acquisitions = %d, want >= 600", shared.Acquisitions)
+	}
+	if shared.Contended == 0 {
+		t.Fatal("expected contention on the shared kernel lock")
+	}
+}
+
+func TestFalseSharingCostsMoreAcrossCPUs(t *testing.T) {
+	// Two threads on two CPUs write bytes in the same cache line vs in
+	// different lines; the same-line pair must take longer. BatchOps is 1 so
+	// the engine interleaves per write: at coarser batching, coherence
+	// traffic coalesces, which is why benchmark 3 uses the analytic
+	// SteadyWriteCost path instead of raw loops.
+	elapsed := func(offsetB uint64) sim.Time {
+		// Tiny spawn costs so the two loops overlap in simulated time even
+		// with this small iteration count.
+		costs := sim.DefaultCosts()
+		costs.ThreadSpawn = 100
+		costs.SpawnJitter = 50
+		m := sim.NewMachine(sim.Config{CPUs: 2, ClockMHz: 100, Seed: 1, BatchOps: 1, Costs: costs})
+		c := cache.NewModel(2, 5, cache.DefaultCosts())
+		as := New(1, m, c)
+		var e1, e2 sim.Time
+		err := m.Run(func(main *sim.Thread) {
+			base, _ := as.Sbrk(main, PageSize)
+			as.Write8(main, base, 0) // prefault
+			w1 := main.Spawn("w1", func(th *sim.Thread) {
+				for i := 0; i < 20000; i++ {
+					as.Write8(th, base, 1)
+					th.MaybeYield()
+				}
+			})
+			w2 := main.Spawn("w2", func(th *sim.Thread) {
+				for i := 0; i < 20000; i++ {
+					as.Write8(th, base+offsetB, 2)
+					th.MaybeYield()
+				}
+			})
+			main.Join(w1)
+			main.Join(w2)
+			e1, e2 = w1.Elapsed(), w2.Elapsed()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e1 + e2
+	}
+	shared := elapsed(8)     // same 32-byte line
+	private := elapsed(1024) // same page, different lines
+	if shared <= private*11/10 {
+		t.Fatalf("false sharing not visible: shared=%d private=%d", shared, private)
+	}
+}
+
+func TestVMAListInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		m, c := testSetup(1)
+		as := New(1, m, c)
+		ok := true
+		err := m.Run(func(th *sim.Thread) {
+			r := xrand.New(seed, 0)
+			var maps []VMA
+			for i := 0; i < 40; i++ {
+				if r.Intn(3) != 0 || len(maps) == 0 {
+					n := uint64(1+r.Intn(8)) * PageSize
+					if a, err := as.Mmap(th, n, "m"); err == nil {
+						maps = append(maps, VMA{Start: a, End: a + n})
+					}
+				} else {
+					i := r.Intn(len(maps))
+					v := maps[i]
+					if err := as.Munmap(th, v.Start, v.End-v.Start); err != nil {
+						ok = false
+					}
+					maps = append(maps[:i], maps[i+1:]...)
+				}
+			}
+			// Invariant: sorted, non-overlapping.
+			vs := as.VMAs()
+			for i := 1; i < len(vs); i++ {
+				if vs[i-1].End > vs[i].Start {
+					ok = false
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageContentStability(t *testing.T) {
+	// Property: bytes written are read back regardless of access pattern.
+	f := func(seed uint64) bool {
+		m, c := testSetup(1)
+		as := New(1, m, c)
+		good := true
+		err := m.Run(func(th *sim.Thread) {
+			r := xrand.New(seed, 1)
+			base, _ := as.Sbrk(th, 16*PageSize)
+			ref := make(map[uint64]byte)
+			for i := 0; i < 3000; i++ {
+				off := uint64(r.Intn(16 * PageSize))
+				if r.Intn(2) == 0 {
+					b := byte(r.Intn(256))
+					as.Write8(th, base+off, b)
+					ref[off] = b
+				} else if want, okk := ref[off]; okk {
+					if as.Read8(th, base+off) != want {
+						good = false
+					}
+				}
+			}
+		})
+		return err == nil && good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
