@@ -48,7 +48,7 @@ func TestFacadeExperimentsRegistry(t *testing.T) {
 }
 
 func TestFacadeAllocatorKinds(t *testing.T) {
-	for _, kind := range []AllocatorKind{Serial, PTMalloc, PerThread} {
+	for _, kind := range []AllocatorKind{Serial, PTMalloc, PerThread, ThreadCache} {
 		w := NewWorld(QuadXeon500(), 2, WithAllocator(kind))
 		err := w.Run(func(main *Thread) {
 			inst, err := w.AddInstance(main)

@@ -32,7 +32,7 @@ func main() {
 	aligned := flag.Bool("aligned", false, "benchmark 3: cache-line aligned allocator")
 	runs := flag.Int("runs", 3, "repetitions")
 	seed := flag.Uint64("seed", 1, "base seed")
-	allocator := flag.String("allocator", "", "override allocator: serial, ptmalloc, perthread")
+	allocator := flag.String("allocator", "", "override allocator: serial, ptmalloc, perthread, threadcache")
 	csv := flag.Bool("csv", false, "CSV output")
 	flag.Parse()
 
@@ -91,6 +91,7 @@ func main() {
 		cfg.Threads = *threads
 		cfg.Runs = *runs
 		cfg.Seed = *seed
+		cfg.Allocator = kind
 		res, err := bench.RunLarson(cfg)
 		if err != nil {
 			fatal(err)

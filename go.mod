@@ -1,0 +1,3 @@
+module mtmalloc
+
+go 1.21

@@ -29,6 +29,10 @@ type B1Run struct {
 	PerThread []float64
 	// ArenaCount is the number of arenas in instance 0 at the end.
 	ArenaCount int
+	// AllocStats is instance 0's allocator statistics at the end, so
+	// experiments can report trylock failures, cross-arena frees and cache
+	// hit rates alongside elapsed time.
+	AllocStats malloc.Stats
 }
 
 // B1Result aggregates repeated runs.
@@ -115,6 +119,7 @@ func runBench1Once(cfg B1Config, seed uint64) (B1Run, error) {
 			main.Join(wk)
 		}
 		out.ArenaCount = len(insts[0].Alloc.Arenas())
+		out.AllocStats = insts[0].Alloc.Stats()
 	})
 	return out, err
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"mtmalloc/internal/malloc"
 	"mtmalloc/internal/stats"
 )
 
@@ -63,6 +64,7 @@ func All() []Experiment {
 		{"F9", "Figure 9: false sharing, 2 threads, sizes 3-52", "aligned flat ~2.1s; normal up to >2x slower", expFigure9},
 		{"F10", "Figure 10: false sharing, 3 threads", "same, three-way", expFigure10},
 		{"F11", "Figure 11: false sharing, 4 threads", "up to 4x slowdowns", expFigure11},
+		{"D1", "Four allocator designs: bench 1-2 + Larson, quad Xeon", "threadcache beats ptmalloc with ~0 trylock failures", ExpDesigns},
 	}
 }
 
@@ -343,6 +345,82 @@ func expFigure10(o Options) (*Table, error) {
 
 func expFigure11(o Options) (*Table, error) {
 	return falseSharingSweep(o, 4, "F11", "false sharing, 4 threads, quad Xeon, sizes 3-52B")
+}
+
+// --- allocator design comparison ---
+
+// ExpDesigns runs the four allocator designs head-to-head: benchmark 1's hot
+// loop at four threads (with speedup vs ptmalloc, glibc's shipping design),
+// benchmark 2's producer/consumer fault counts, and the Larson server
+// workload — plus the contention counters that explain the ranking.
+func ExpDesigns(o Options) (*Table, error) {
+	prof := QuadXeon500()
+	t := &Table{ID: "D1", Title: "four allocator designs, quad Xeon: bench1 4x512B, bench2 faults, Larson 4 threads",
+		Columns: []string{"allocator", "bench1(s)", "speedup", "trylock fails", "cross-arena frees", "cache hit rate", "bench2 faults", "larson(ops/s)"}}
+	pairs := o.pairs()
+
+	type row struct {
+		kind                     malloc.Kind
+		b1                       float64
+		trylock, crossArena      float64
+		cacheHits, cacheAttempts float64
+		faults                   float64
+		larsonT                  float64
+	}
+	var rows []row
+	for _, kind := range []malloc.Kind{malloc.KindPTMalloc, malloc.KindSerial, malloc.KindPerThread, malloc.KindThreadCache} {
+		b1, err := RunBench1(B1Config{Profile: prof, Threads: 4, Size: 512, Pairs: pairs,
+			Runs: 3, Seed: o.seed(), Allocator: kind})
+		if err != nil {
+			return nil, err
+		}
+		b2cfg := DefaultB2(prof)
+		b2cfg.Threads = 4
+		b2cfg.Rounds = 4
+		b2cfg.Runs = 3
+		b2cfg.Seed = o.seed()
+		b2cfg.Allocator = kind
+		b2, err := RunBench2(b2cfg)
+		if err != nil {
+			return nil, err
+		}
+		lcfg := DefaultLarson(prof)
+		lcfg.Threads = 4
+		lcfg.Ops = 20000
+		lcfg.Runs = 3
+		lcfg.Seed = o.seed()
+		lcfg.Allocator = kind
+		lar, err := RunLarson(lcfg)
+		if err != nil {
+			return nil, err
+		}
+		// Counters averaged across the runs, like the elapsed columns.
+		rw := row{kind: kind,
+			b1:      ScaleSeconds(b1.All.Mean, pairs, FullPairs),
+			faults:  b2.Faults.Mean,
+			larsonT: lar.Throughput.Mean}
+		n := float64(len(b1.Runs))
+		for _, run := range b1.Runs {
+			rw.trylock += float64(run.AllocStats.TrylockFailures) / n
+			rw.crossArena += float64(run.AllocStats.CrossArenaFrees) / n
+			rw.cacheHits += float64(run.AllocStats.CacheHits) / n
+			rw.cacheAttempts += float64(run.AllocStats.CacheHits+run.AllocStats.CacheMisses) / n
+		}
+		rows = append(rows, rw)
+	}
+	base := rows[0].b1 // ptmalloc
+	for _, r := range rows {
+		hitRate := "n/a"
+		if r.cacheAttempts > 0 {
+			hitRate = fmt.Sprintf("%.1f%%", 100*r.cacheHits/r.cacheAttempts)
+		}
+		t.AddRow(string(r.kind), r.b1, fmt.Sprintf("%.2fx", base/r.b1),
+			fmt.Sprintf("%.1f", r.trylock), fmt.Sprintf("%.1f", r.crossArena), hitRate, r.faults, r.larsonT)
+	}
+	t.Note("speedup is ptmalloc's benchmark-1 elapsed over the design's (higher is better)")
+	t.Note("threadcache never trylocks: misses refill a batch under one blocking lock, frees park locally")
+	noteScale(t, o)
+	return t, nil
 }
 
 func noteScale(t *Table, o Options) {

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"mtmalloc/internal/malloc"
 	"mtmalloc/internal/sim"
 	"mtmalloc/internal/stats"
 )
@@ -22,6 +23,8 @@ type LarsonConfig struct {
 	Ops     int    // replace operations per thread
 	Runs    int
 	Seed    uint64
+	// Allocator overrides the profile default when non-empty.
+	Allocator malloc.Kind
 }
 
 // DefaultLarson returns the conventional parameters.
@@ -66,7 +69,11 @@ func RunLarson(cfg LarsonConfig) (LarsonResult, error) {
 }
 
 func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
-	w := NewWorld(cfg.Profile, seed)
+	var opts []WorldOption
+	if cfg.Allocator != "" {
+		opts = append(opts, WithAllocator(cfg.Allocator))
+	}
+	w := NewWorld(cfg.Profile, seed, opts...)
 	var out LarsonRun
 	err := w.Run(func(main *sim.Thread) {
 		inst, err := w.AddInstance(main)

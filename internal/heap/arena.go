@@ -32,6 +32,7 @@ type Stats struct {
 	MmapChunks   uint64
 	MunmapChunks uint64
 	GrowsInPlace uint64 // realloc satisfied by absorbing a neighbour
+	BytesCopied  uint64 // payload bytes moved by CopyPayload (realloc moves)
 	BytesInUse   uint64
 	PeakInUse    uint64
 }
@@ -224,6 +225,10 @@ func (a *Arena) Malloc(t *sim.Thread, req uint32) (uint64, error) {
 			return topC + HeaderSz, nil
 		}
 		if err := a.extend(t, sz); err != nil {
+			// Failed attempts are not allocations: without this, the
+			// arena-full fallback sweeps (ptmalloc's and the thread
+			// cache's) inflate Mallocs past Frees and fake leaks.
+			a.stats.Mallocs--
 			return 0, err
 		}
 	}
@@ -304,7 +309,14 @@ func (a *Arena) Free(t *sim.Thread, mem uint64) error {
 	}
 
 	nsz := a.chunkSize(t, next)
-	nextInuse := a.prevInuse(t, next+uint64(nsz))
+	// The chunk after next exists only inside the segment: abandonTop's
+	// waste stub is an in-use chunk ending flush against the segment end,
+	// and reading its successor's P bit would sample another mapping's
+	// bytes and can fake a free neighbour.
+	nextInuse := true
+	if next+uint64(nsz) < a.segmentEndFor(c) {
+		nextInuse = a.prevInuse(t, next+uint64(nsz))
+	}
 	if !nextInuse {
 		// Forward coalesce (next is free and not top).
 		a.unlink(t, next)
@@ -484,6 +496,13 @@ func (a *Arena) FreeMmapChunk(t *sim.Thread, mem uint64) error {
 // IsMmappedMem reports whether the chunk behind mem carries the M flag.
 func (a *Arena) IsMmappedMem(t *sim.Thread, mem uint64) bool {
 	return a.sizeWord(t, mem-HeaderSz)&IsMmapped != 0
+}
+
+// ChunkSizeOf returns the full chunk size (flags stripped) behind a user
+// pointer, charging one header read. Thread caches use it to class chunks
+// without taking the arena lock.
+func (a *Arena) ChunkSizeOf(t *sim.Thread, mem uint64) uint32 {
+	return a.sizeWord(t, mem-HeaderSz) &^ FlagMask
 }
 
 // UsableSize returns the usable bytes behind a user pointer.

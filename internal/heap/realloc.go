@@ -55,7 +55,13 @@ func (a *Arena) ReallocInPlace(t *sim.Thread, mem uint64, newReq uint32) (addr u
 		}
 	} else {
 		nsz := a.chunkSize(t, next)
-		nextFree := !a.prevInuse(t, next+uint64(nsz))
+		// Same segment-end guard as Free's forward coalesce: next can be an
+		// in-use stub ending exactly at the segment end, with no successor
+		// header to read.
+		nextFree := false
+		if next+uint64(nsz) < a.segmentEndFor(c) {
+			nextFree = !a.prevInuse(t, next+uint64(nsz))
+		}
 		if nextFree && uint64(oldSz)+uint64(nsz) >= uint64(newSz) {
 			a.unlink(t, next)
 			merged := oldSz + nsz
@@ -87,6 +93,7 @@ func (a *Arena) ReallocInPlace(t *sim.Thread, mem uint64, newReq uint32) (addr u
 // CopyPayload copies n bytes of user data between simulated addresses in
 // word-sized accesses, charging memory traffic like a real memcpy.
 func (a *Arena) CopyPayload(t *sim.Thread, dst, src uint64, n uint32) {
+	a.stats.BytesCopied += uint64(n)
 	i := uint32(0)
 	for ; i+4 <= n; i += 4 {
 		a.as.Write32(t, dst+uint64(i), a.as.Read32(t, src+uint64(i)))

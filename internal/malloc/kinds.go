@@ -13,13 +13,14 @@ type Kind string
 
 // The allocator designs under study.
 const (
-	KindSerial    Kind = "serial"    // single lock (Solaris 2.6 libc model)
-	KindPTMalloc  Kind = "ptmalloc"  // glibc 2.0/2.1 arena list
-	KindPerThread Kind = "perthread" // one arena per thread
+	KindSerial      Kind = "serial"      // single lock (Solaris 2.6 libc model)
+	KindPTMalloc    Kind = "ptmalloc"    // glibc 2.0/2.1 arena list
+	KindPerThread   Kind = "perthread"   // one arena per thread
+	KindThreadCache Kind = "threadcache" // per-thread magazine over a shared arena pool
 )
 
 // Kinds lists every allocator kind.
-func Kinds() []Kind { return []Kind{KindSerial, KindPTMalloc, KindPerThread} }
+func Kinds() []Kind { return []Kind{KindSerial, KindPTMalloc, KindPerThread, KindThreadCache} }
 
 // New constructs an allocator of the given kind on as.
 func New(t *sim.Thread, kind Kind, as *vm.AddressSpace, params heap.Params, costs CostParams) (Allocator, error) {
@@ -30,6 +31,8 @@ func New(t *sim.Thread, kind Kind, as *vm.AddressSpace, params heap.Params, cost
 		return NewPTMalloc(t, as, params, costs)
 	case KindPerThread:
 		return NewPerThread(t, as, params, costs)
+	case KindThreadCache:
+		return NewThreadCache(t, as, params, costs)
 	default:
 		return nil, fmt.Errorf("malloc: unknown allocator kind %q", kind)
 	}

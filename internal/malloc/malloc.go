@@ -37,8 +37,9 @@ import (
 	"mtmalloc/internal/vm"
 )
 
-// CostParams holds the allocator-level instruction costs in cycles; the
-// memory traffic underneath is charged by the heap/vm/cache layers.
+// CostParams holds the allocator-level instruction costs in cycles plus the
+// thread-cache tuning knobs; the memory traffic underneath is charged by the
+// heap/vm/cache layers.
 type CostParams struct {
 	WorkMalloc int64 // fixed instruction work per malloc
 	WorkFree   int64 // fixed instruction work per free
@@ -49,6 +50,16 @@ type CostParams struct {
 	// MainArenaSloshUnit scales the extra main-arena penalty once three or
 	// more threads run on one instance.
 	MainArenaSloshUnit int64
+
+	// Thread-cache (KindThreadCache) knobs. Zero values take the defaults
+	// applied by NewThreadCache, so profiles that predate the design keep
+	// working unchanged.
+	CacheHit    int64  // lock-free cache pop/push
+	CacheRefill int64  // fixed overhead per batch refill (on top of WorkMalloc)
+	CacheFlush  int64  // fixed overhead per batch flush (on top of WorkFree)
+	CacheBatch  int    // chunks pulled from the arena per refill
+	CacheHigh   int    // per-class high-water mark that triggers a flush
+	CacheMax    uint32 // largest chunk size served from the cache
 }
 
 // DefaultCostParams returns mid-range constants; machine profiles override.
@@ -58,6 +69,12 @@ func DefaultCostParams() CostParams {
 		WorkFree:      110,
 		TSDRead:       8,
 		SharedTaxUnit: 0,
+		CacheHit:      15,
+		CacheRefill:   60,
+		CacheFlush:    60,
+		CacheBatch:    16,
+		CacheHigh:     64,
+		CacheMax:      32 * 1024,
 	}
 }
 
@@ -69,8 +86,14 @@ type Stats struct {
 	TrylockFailures uint64
 	CrossArenaFrees uint64 // frees routed to an arena other than the
 	// caller's current arena
-	ArenaCount int
-	Heap       heap.Stats // summed over arenas
+	// Thread-cache counters (zero for designs without a front cache).
+	CacheHits    uint64 // mallocs served from the local cache, no lock
+	CacheMisses  uint64 // mallocs that had to refill from an arena
+	CacheRefills uint64 // batch refills performed
+	CacheFlushes uint64 // batch flushes back to the arenas
+	CachedChunks int    // chunks parked in thread caches right now
+	ArenaCount   int
+	Heap         heap.Stats // summed over arenas
 }
 
 // Allocator is the public allocator interface: the system malloc/free pair
@@ -224,6 +247,8 @@ func (b *base) sumStats() Stats {
 		s.Heap.Trims += as.Trims
 		s.Heap.MmapChunks += as.MmapChunks
 		s.Heap.MunmapChunks += as.MunmapChunks
+		s.Heap.GrowsInPlace += as.GrowsInPlace
+		s.Heap.BytesCopied += as.BytesCopied
 		s.Heap.BytesInUse += as.BytesInUse
 		s.Heap.PeakInUse += as.PeakInUse
 	}
@@ -241,6 +266,8 @@ func reallocOn(al Allocator, b *base, t *sim.Thread, mem uint64, size uint32) (u
 		return 0, al.Free(t, mem)
 	}
 	t.MaybeYield()
+	// Mmapped chunks live outside every arena's segments; chunk-format
+	// operations on them go through the main arena by convention.
 	ref := b.arenas[0]
 	if ref.IsMmappedMem(t, mem) {
 		// Mmapped chunks move: a fresh allocation, a copy, a munmap.
@@ -270,8 +297,10 @@ func reallocOn(al Allocator, b *base, t *sim.Thread, mem uint64, size uint32) (u
 		return np, nil
 	}
 	// In-place resize impossible: move through the allocator's ordinary
-	// policy, so oversized requests still become anonymous mappings.
-	oldUs := ref.UsableSize(t, mem)
+	// policy, so oversized requests still become anonymous mappings. Size
+	// reads and the copy go through the owning arena, so the coherence
+	// charges land on that arena's cache lines.
+	oldUs := a.UsableSize(t, mem)
 	np, err = al.Malloc(t, size)
 	if err != nil {
 		return 0, fmt.Errorf("realloc: %w", err)
@@ -280,17 +309,25 @@ func reallocOn(al Allocator, b *base, t *sim.Thread, mem uint64, size uint32) (u
 	if oldUs < n {
 		n = oldUs
 	}
-	ref.CopyPayload(t, np, mem, n)
+	a.CopyPayload(t, np, mem, n)
 	return np, al.Free(t, mem)
 }
 
-// callocOn implements calloc for a variant.
+// callocOn implements calloc for a variant. Zeroing is routed through the
+// arena that owns the fresh chunk (mmapped chunks zero via the main arena),
+// so the memory traffic is charged against the right arena's lines.
 func callocOn(al Allocator, b *base, t *sim.Thread, size uint32) (uint64, error) {
 	p, err := al.Malloc(t, size)
 	if err != nil {
 		return 0, err
 	}
-	b.arenas[0].Memzero(t, p, size)
+	ref := b.arenas[0]
+	if !ref.IsMmappedMem(t, p) {
+		if a, rerr := b.routeFree(t, p); rerr == nil {
+			ref = a
+		}
+	}
+	ref.Memzero(t, p, size)
 	return p, nil
 }
 

@@ -1,6 +1,7 @@
 package malloc
 
 import (
+	"errors"
 	"fmt"
 
 	"mtmalloc/internal/heap"
@@ -48,22 +49,38 @@ func (p *PerThread) arenaOf(t *sim.Thread) (*heap.Arena, error) {
 	return a, nil
 }
 
-// Malloc allocates size bytes from the caller's arena.
+// Malloc allocates size bytes from the caller's arena. The mmap path is
+// checked first (matching PTMalloc.Malloc), so a thread that only ever does
+// above-threshold allocations never pays for a private arena it cannot use.
 func (p *PerThread) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 	t.MaybeYield()
+	p.opCharge(t, 0, p.owner[t.ID()])
+	if mem, err, done := p.mmapPath(t, size); done {
+		return mem, err
+	}
 	a, err := p.arenaOf(t)
 	if err != nil {
 		return 0, err
-	}
-	p.opCharge(t, 0, a)
-	if mem, err, done := p.mmapPath(t, size); done {
-		return mem, err
 	}
 	t.Lock(a.Lock)
 	t.Charge(sim.Time(p.costs.WorkMalloc))
 	mem, merr := a.Malloc(t, size)
 	t.Unlock(a.Lock)
 	p.lastArena[t.ID()] = a
+	if merr == nil || !errors.Is(merr, heap.ErrArenaFull) {
+		return mem, merr
+	}
+	// Private arena at its size cap: overflow to the main arena, which
+	// grows with sbrk and has no cap. The chunk will come back as a
+	// cross-arena free, the design's documented trade-off.
+	main := p.arenas[0]
+	t.Lock(main.Lock)
+	t.Charge(sim.Time(p.costs.WorkMalloc))
+	mem, merr = main.Malloc(t, size)
+	t.Unlock(main.Lock)
+	if merr == nil {
+		p.lastArena[t.ID()] = main
+	}
 	return mem, merr
 }
 

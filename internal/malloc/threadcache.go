@@ -1,0 +1,404 @@
+package malloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mtmalloc/internal/heap"
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/vm"
+)
+
+// ThreadCache is the magazine-style design later allocators (Hoard,
+// tcmalloc, SpeedMalloc) converged on: every thread owns a size-classed
+// free-list cache sitting in front of a small shared arena pool.
+//
+//   - malloc pops from the caller's local cache with zero locking; a miss
+//     refills a batch of CacheBatch chunks from the thread's home arena
+//     under a single lock acquisition;
+//   - free pushes onto the local cache without touching any lock, wherever
+//     the chunk's owning arena is — the cross-thread frees that make
+//     benchmark 2 hammer foreign arena locks in ptmalloc are simply parked
+//     locally, and returned in arena-grouped batches only when a class
+//     crosses its high-water mark;
+//   - the arena pool is capped at the machine's CPU count (threads map onto
+//     home arenas round-robin), so T threads cost min(T, CPUs) arenas
+//     instead of PerThread's T.
+//
+// Cached chunks look allocated from the arena's point of view, so every
+// structural invariant Check() enforces keeps holding; the price is that
+// parked chunks cannot coalesce until they are flushed.
+type ThreadCache struct {
+	*base
+	caches map[int]*tcache
+
+	// nextHome hands out home arenas round-robin across the pool.
+	nextHome int
+	poolCap  int
+
+	batch     int
+	highWater int
+	maxBlock  uint32
+
+	// User-level op counts: arena counters include batch refills and
+	// deferred flushes, so Stats() reports these instead.
+	userMallocs uint64
+	userFrees   uint64
+}
+
+// tcEntry is one cached chunk: the user pointer plus the arena that owns it,
+// recorded at push time so flushes need no routing scan.
+type tcEntry struct {
+	mem   uint64
+	arena *heap.Arena
+}
+
+// tcClass is one exact-chunk-size free list in a thread's cache (LIFO).
+type tcClass struct {
+	entries []tcEntry
+}
+
+// tcache is one thread's private front cache.
+type tcache struct {
+	home    *heap.Arena
+	classes map[uint32]*tcClass
+}
+
+// push files a chunk under its exact chunk size and returns the class.
+func (c *tcache) push(csz uint32, e tcEntry) *tcClass {
+	cl := c.classes[csz]
+	if cl == nil {
+		cl = &tcClass{}
+		c.classes[csz] = cl
+	}
+	cl.entries = append(cl.entries, e)
+	return cl
+}
+
+// NewThreadCache creates the thread-cache allocator on as. Zero-valued cache
+// knobs in costs take the DefaultCostParams values.
+func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, costs CostParams) (*ThreadCache, error) {
+	def := DefaultCostParams()
+	if costs.CacheHit == 0 {
+		costs.CacheHit = def.CacheHit
+	}
+	if costs.CacheRefill == 0 {
+		costs.CacheRefill = def.CacheRefill
+	}
+	if costs.CacheFlush == 0 {
+		costs.CacheFlush = def.CacheFlush
+	}
+	if costs.CacheBatch <= 0 {
+		costs.CacheBatch = def.CacheBatch
+	}
+	if costs.CacheHigh <= 0 {
+		costs.CacheHigh = def.CacheHigh
+	}
+	if costs.CacheMax == 0 {
+		costs.CacheMax = def.CacheMax
+	}
+	b, err := newBase(t, "threadcache", as, params, costs)
+	if err != nil {
+		return nil, err
+	}
+	cap := as.Machine().Config().CPUs
+	if cap < 1 {
+		cap = 1
+	}
+	return &ThreadCache{
+		base:      b,
+		caches:    make(map[int]*tcache),
+		poolCap:   cap,
+		batch:     costs.CacheBatch,
+		highWater: costs.CacheHigh,
+		maxBlock:  costs.CacheMax,
+	}, nil
+}
+
+// cacheOf returns (creating if needed) the calling thread's cache. Creation
+// is a map insert, not an arena: threads that only mmap never pay for one.
+func (tc *ThreadCache) cacheOf(t *sim.Thread) *tcache {
+	t.Charge(sim.Time(tc.costs.TSDRead))
+	c := tc.caches[t.ID()]
+	if c == nil {
+		c = &tcache{classes: make(map[uint32]*tcClass)}
+		tc.caches[t.ID()] = c
+	}
+	return c
+}
+
+// homeArena returns (assigning if needed) the thread's home arena. Threads
+// map onto the pool round-robin; pool slots are created lazily under the
+// list lock.
+func (tc *ThreadCache) homeArena(t *sim.Thread, c *tcache) (*heap.Arena, error) {
+	if c.home != nil {
+		return c.home, nil
+	}
+	idx := tc.nextHome % tc.poolCap
+	tc.nextHome++
+	if idx < len(tc.arenas) {
+		c.home = tc.arenas[idx]
+		return c.home, nil
+	}
+	a, err := tc.growPool(t)
+	if err != nil {
+		return nil, err
+	}
+	c.home = a
+	return a, nil
+}
+
+// growPool appends a fresh sub-arena under the list lock.
+func (tc *ThreadCache) growPool(t *sim.Thread) (*heap.Arena, error) {
+	t.Lock(tc.listLock)
+	a, err := heap.NewSub(t, tc.as, &tc.params, len(tc.arenas))
+	if err != nil {
+		t.Unlock(tc.listLock)
+		return nil, fmt.Errorf("malloc: creating pool arena: %w", err)
+	}
+	tc.arenas = append(tc.arenas, a)
+	tc.stats.ArenaCreations++
+	t.Unlock(tc.listLock)
+	return a, nil
+}
+
+// Malloc allocates size bytes, serving cacheable sizes from the local cache.
+func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
+	t.MaybeYield()
+	tc.opCharge(t, 0, tc.lastArena[t.ID()])
+	if mem, err, done := tc.mmapPath(t, size); done {
+		return mem, err
+	}
+	c := tc.cacheOf(t)
+	sz := tc.params.Request2Size(size)
+	if sz <= tc.maxBlock {
+		if cl := c.classes[sz]; cl != nil && len(cl.entries) > 0 {
+			e := cl.entries[len(cl.entries)-1]
+			cl.entries = cl.entries[:len(cl.entries)-1]
+			t.Charge(sim.Time(tc.costs.CacheHit))
+			tc.stats.CacheHits++
+			tc.userMallocs++
+			tc.lastArena[t.ID()] = e.arena
+			return e.mem, nil
+		}
+		tc.stats.CacheMisses++
+		mem, err := tc.arenaBatch(t, c, size, tc.batch-1, tc.costs.CacheRefill+tc.costs.WorkMalloc)
+		if err == nil {
+			tc.userMallocs++
+		}
+		return mem, err
+	}
+	// Too large to cache: straight to the home arena under its lock.
+	mem, err := tc.arenaBatch(t, c, size, 0, tc.costs.WorkMalloc)
+	if err == nil {
+		tc.userMallocs++
+	}
+	return mem, err
+}
+
+// arenaBatch allocates one chunk for the caller from the thread's home arena
+// plus extra chunks parked in the cache, all under one lock acquisition.
+// When the home arena hits its size cap the thread migrates to a fresh one.
+func (tc *ThreadCache) arenaBatch(t *sim.Thread, c *tcache, req uint32, extra int, work int64) (uint64, error) {
+	a, err := tc.homeArena(t, c)
+	if err != nil {
+		return 0, err
+	}
+	for try := 0; ; try++ {
+		t.Lock(a.Lock)
+		t.Charge(sim.Time(work))
+		mem, merr := a.Malloc(t, req)
+		if merr == nil {
+			if extra > 0 {
+				tc.stats.CacheRefills++
+				for i := 0; i < extra; i++ {
+					p, perr := a.Malloc(t, req)
+					if perr != nil {
+						break // partial refill: the user chunk is in hand
+					}
+					c.push(a.ChunkSizeOf(t, p), tcEntry{p, a})
+				}
+			}
+			t.Unlock(a.Lock)
+			tc.lastArena[t.ID()] = a
+			return mem, nil
+		}
+		t.Unlock(a.Lock)
+		if !errors.Is(merr, heap.ErrArenaFull) || try >= 1 {
+			return 0, merr
+		}
+		// Home arena at its size cap: migrate to another pool arena with
+		// room before growing the pool (single chunk, no batch — the next
+		// miss refills from the new home).
+		for _, b := range tc.arenas {
+			if b == a {
+				continue
+			}
+			t.Lock(b.Lock)
+			mem, err2 := b.Malloc(t, req)
+			t.Unlock(b.Lock)
+			if err2 == nil {
+				c.home = b
+				tc.lastArena[t.ID()] = b
+				return mem, nil
+			}
+		}
+		a, err = tc.growPool(t)
+		if err != nil {
+			return 0, fmt.Errorf("malloc: no arena can satisfy %d bytes: %w", req, err)
+		}
+		c.home = a
+	}
+}
+
+// Free parks cacheable chunks on the local cache without locking; a class
+// crossing its high-water mark is flushed back in arena-grouped batches.
+func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
+	t.MaybeYield()
+	tc.opCharge(t, 0, tc.lastArena[t.ID()])
+	if done, err := tc.freeIfMmapped(t, mem); done {
+		return err
+	}
+	a, err := tc.routeFree(t, mem)
+	if err != nil {
+		return err
+	}
+	c := tc.cacheOf(t)
+	csz := a.ChunkSizeOf(t, mem)
+	// Implausible sizes (wild or corrupt pointers) take the locked arena
+	// path, which validates and reports ErrBadFree.
+	if csz >= heap.MinChunk && csz <= tc.maxBlock {
+		t.Charge(sim.Time(tc.costs.CacheHit))
+		tc.userFrees++
+		if c.home != nil && c.home != a {
+			tc.stats.CrossArenaFrees++
+		}
+		cl := c.push(csz, tcEntry{mem, a})
+		if len(cl.entries) > tc.highWater {
+			return tc.flushClass(t, cl)
+		}
+		return nil
+	}
+	t.Lock(a.Lock)
+	t.Charge(sim.Time(tc.costs.WorkFree))
+	ferr := a.Free(t, mem)
+	t.Unlock(a.Lock)
+	if ferr == nil {
+		tc.userFrees++
+	}
+	return ferr
+}
+
+// flushClass returns the oldest half of an over-full class to the arenas,
+// keeping the hot top of the stack local.
+func (tc *ThreadCache) flushClass(t *sim.Thread, cl *tcClass) error {
+	keep := tc.highWater / 2
+	victims := cl.entries[:len(cl.entries)-keep]
+	rest := make([]tcEntry, keep)
+	copy(rest, cl.entries[len(cl.entries)-keep:])
+	cl.entries = rest
+	return tc.flush(t, victims)
+}
+
+// flush frees victims into their owning arenas, taking each arena's lock
+// once per consecutive run (refills produce same-arena runs, so this is one
+// acquisition per batch in the common case). The victims are already off
+// their class list, so every one is freed even when an earlier one errors;
+// the first error is reported after the batch completes.
+func (tc *ThreadCache) flush(t *sim.Thread, victims []tcEntry) error {
+	if len(victims) == 0 {
+		return nil
+	}
+	tc.stats.CacheFlushes++
+	t.Charge(sim.Time(tc.costs.CacheFlush))
+	var firstErr error
+	i := 0
+	for i < len(victims) {
+		a := victims[i].arena
+		t.Lock(a.Lock)
+		t.Charge(sim.Time(tc.costs.WorkFree))
+		for i < len(victims) && victims[i].arena == a {
+			if ferr := a.Free(t, victims[i].mem); ferr != nil && firstErr == nil {
+				firstErr = ferr
+			}
+			i++
+		}
+		t.Unlock(a.Lock)
+	}
+	return firstErr
+}
+
+// DetachThread flushes and discards the thread's cache before detaching, the
+// way a pthread destructor returns a dying thread's magazine.
+func (tc *ThreadCache) DetachThread(t *sim.Thread) {
+	if c := tc.caches[t.ID()]; c != nil {
+		sizes := make([]int, 0, len(c.classes))
+		for csz := range c.classes {
+			sizes = append(sizes, int(csz))
+		}
+		sort.Ints(sizes)
+		for _, csz := range sizes {
+			cl := c.classes[uint32(csz)]
+			if err := tc.flush(t, cl.entries); err != nil {
+				panic(fmt.Sprintf("malloc: thread-cache flush on detach: %v", err))
+			}
+			cl.entries = nil
+		}
+		delete(tc.caches, t.ID())
+	}
+	tc.base.DetachThread(t)
+}
+
+// Realloc resizes mem with C semantics. A chunk being resized is owned by
+// the user, never parked in a cache, so the shared path applies unchanged.
+func (tc *ThreadCache) Realloc(t *sim.Thread, mem uint64, size uint32) (uint64, error) {
+	return reallocOn(tc, tc.base, t, mem, size)
+}
+
+// Calloc allocates zeroed memory.
+func (tc *ThreadCache) Calloc(t *sim.Thread, size uint32) (uint64, error) {
+	return callocOn(tc, tc.base, t, size)
+}
+
+// Stats returns aggregated statistics. Heap.Mallocs/Frees report user-level
+// operation counts: the arena-level counters include batch refills and
+// exclude parked frees, which would make the designs incomparable (the raw
+// per-arena numbers stay available through Arenas()).
+func (tc *ThreadCache) Stats() Stats {
+	s := tc.sumStats()
+	s.Heap.Mallocs = tc.userMallocs
+	s.Heap.Frees = tc.userFrees
+	for _, c := range tc.caches {
+		for _, cl := range c.classes {
+			s.CachedChunks += len(cl.entries)
+		}
+	}
+	return s
+}
+
+// Check verifies every arena plus the cache invariants: every parked chunk
+// must lie inside the arena recorded for it and appear in at most one cache
+// slot.
+func (tc *ThreadCache) Check() error {
+	if err := tc.checkAll(); err != nil {
+		return err
+	}
+	seen := make(map[uint64]bool)
+	for tid, c := range tc.caches {
+		for _, cl := range c.classes {
+			for _, e := range cl.entries {
+				if seen[e.mem] {
+					return fmt.Errorf("malloc: chunk 0x%x cached twice", e.mem)
+				}
+				seen[e.mem] = true
+				if !e.arena.Contains(e.mem - heap.HeaderSz) {
+					return fmt.Errorf("malloc: thread %d cached 0x%x outside arena %d", tid, e.mem, e.arena.Index)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+var _ Allocator = (*ThreadCache)(nil)

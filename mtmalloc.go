@@ -10,7 +10,14 @@
 // On top of that substrate live faithful reimplementations of the
 // allocators the paper compares: glibc 2.0/2.1's ptmalloc (arena list with
 // trylock sweep), a Solaris-style single-lock allocator, and a per-thread
-// arena design.
+// arena design — plus a fourth design from the paper's future: a
+// tcmalloc/Hoard-style thread cache (ThreadCache), where each thread keeps a
+// size-classed magazine in front of a CPU-count-bounded arena pool. Mallocs
+// pop from the magazine with zero locking, misses refill a batch under one
+// lock acquisition, and frees park locally until a class crosses its
+// high-water mark (CostParams.CacheHit/CacheRefill/CacheFlush price the
+// operations; CacheBatch/CacheHigh/CacheMax tune the policy). Experiment D1
+// compares all four designs head-to-head.
 //
 // The package surface re-exports the pieces a user needs to run the
 // paper's experiments or build new workloads:
@@ -70,9 +77,10 @@ type (
 
 // Allocator kinds.
 const (
-	Serial    = malloc.KindSerial
-	PTMalloc  = malloc.KindPTMalloc
-	PerThread = malloc.KindPerThread
+	Serial      = malloc.KindSerial
+	PTMalloc    = malloc.KindPTMalloc
+	PerThread   = malloc.KindPerThread
+	ThreadCache = malloc.KindThreadCache
 )
 
 // Benchmark harness types.
