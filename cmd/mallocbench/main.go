@@ -8,6 +8,7 @@
 //	mallocbench -bench 2 -profile k6-400 -threads 3 -rounds 8 -runs 5
 //	mallocbench -bench 3 -profile quad-xeon-500 -threads 4 -size 24 -aligned
 //	mallocbench -bench larson -threads 4 -allocator perthread
+//	mallocbench -bench d2 -scale 0.01 -json BENCH_D2.json
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	which := flag.String("bench", "1", "benchmark: 1, 2, 3 or larson")
+	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson or d2 (mid-tier ablation experiment)")
 	profileName := flag.String("profile", "quad-xeon-500", "machine profile")
 	threads := flag.Int("threads", 2, "worker threads")
 	processes := flag.Bool("processes", false, "benchmark 1: one process per worker")
@@ -33,6 +34,8 @@ func main() {
 	runs := flag.Int("runs", 3, "repetitions")
 	seed := flag.Uint64("seed", 1, "base seed")
 	allocator := flag.String("allocator", "", "override allocator: serial, ptmalloc, perthread, threadcache")
+	scale := flag.Float64("scale", 0.02, "d2: fraction of the 10M benchmark-1 pairs to simulate")
+	jsonPath := flag.String("json", "", "also write the result table as JSON to this file")
 	csv := flag.Bool("csv", false, "CSV output")
 	flag.Parse()
 
@@ -101,10 +104,26 @@ func main() {
 		for i, r := range res.Runs {
 			tab.AddRow(i+1, r.Throughput, r.WallSeconds, r.MinorFaults, r.ArenaCount)
 		}
+	case "d2":
+		res, err := bench.ExpMidTier(bench.Options{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		tab = res
 	default:
-		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3 or larson)", *which))
+		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson or d2)", *which))
 	}
 
+	if *jsonPath != "" {
+		js, err := tab.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, []byte(js), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *jsonPath)
+	}
 	if *csv {
 		fmt.Print(tab.CSV())
 	} else {

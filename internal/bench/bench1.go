@@ -22,6 +22,9 @@ type B1Config struct {
 	Seed      uint64
 	// Allocator overrides the profile default when non-empty (ablations).
 	Allocator malloc.Kind
+	// Costs overrides the profile's allocator cost params when non-nil
+	// (mid-tier ablations).
+	Costs *malloc.CostParams
 }
 
 // B1Run is one benchmark execution: per-worker elapsed seconds.
@@ -73,6 +76,9 @@ func runBench1Once(cfg B1Config, seed uint64) (B1Run, error) {
 	var opts []WorldOption
 	if cfg.Allocator != "" {
 		opts = append(opts, WithAllocator(cfg.Allocator))
+	}
+	if cfg.Costs != nil {
+		opts = append(opts, WithAllocCosts(*cfg.Costs))
 	}
 	w := NewWorld(cfg.Profile, seed, opts...)
 	out := B1Run{PerThread: make([]float64, cfg.Threads)}

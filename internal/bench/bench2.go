@@ -20,10 +20,19 @@ type B2Config struct {
 	Objects int     // objects per chain; the paper uses 10,000
 	Size    uint32  // request size; the paper uses 40 bytes
 	Replace float64 // fraction of objects each round replaces
-	Runs    int
-	Seed    uint64
+	// BatchReplace > 1 makes each round free that many objects in a burst
+	// before re-allocating them, instead of the paper's free-then-malloc
+	// per object. Bursts are what push a magazine past its high-water mark,
+	// so the mid-tier ablation (D2) uses them; 0 or 1 keeps the paper's
+	// exact pattern.
+	BatchReplace int
+	Runs         int
+	Seed         uint64
 	// Allocator overrides the profile default when non-empty.
 	Allocator malloc.Kind
+	// Costs overrides the profile's allocator cost params when non-nil
+	// (mid-tier ablations).
+	Costs *malloc.CostParams
 }
 
 // DefaultB2 fills the paper's constants.
@@ -36,6 +45,9 @@ type B2Run struct {
 	MinorFaults uint64
 	ArenaCount  int
 	HeapBytes   uint64 // peak mapped bytes
+	// AllocStats is the allocator's statistics at the end, so experiments
+	// can report arena-lock acquisitions and depot traffic per run.
+	AllocStats malloc.Stats
 }
 
 // B2Result aggregates runs and carries the predictor value.
@@ -78,6 +90,9 @@ func runBench2Once(cfg B2Config, seed uint64) (B2Run, error) {
 	if cfg.Allocator != "" {
 		opts = append(opts, WithAllocator(cfg.Allocator))
 	}
+	if cfg.Costs != nil {
+		opts = append(opts, WithAllocCosts(*cfg.Costs))
+	}
 	w := NewWorld(cfg.Profile, seed, opts...)
 	var out B2Run
 	err := w.Run(func(main *sim.Thread) {
@@ -108,26 +123,43 @@ func runBench2Once(cfg B2Config, seed uint64) (B2Run, error) {
 
 		// Chain worker: replace a subset, spawn successor, wait for it so
 		// the main thread's joins cover whole chains transitively.
+		bs := cfg.BatchReplace
+		if bs < 1 {
+			bs = 1
+		}
 		var round func(chain, r int) func(*sim.Thread)
 		round = func(chain, r int) func(*sim.Thread) {
 			return func(t *sim.Thread) {
 				al.AttachThread(t)
 				arr := arrays[chain]
 				rng := t.RNG()
+				var pending []int
+				replaceBatch := func() {
+					for _, i := range pending {
+						old := uint64(as.Read32(t, arr+uint64(4*i)))
+						if err := al.Free(t, old); err != nil {
+							panic(fmt.Sprintf("bench2: free: %v", err))
+						}
+					}
+					for _, i := range pending {
+						p, err := al.Malloc(t, cfg.Size)
+						if err != nil {
+							panic(fmt.Sprintf("bench2: malloc: %v", err))
+						}
+						as.Write32(t, arr+uint64(4*i), uint32(p))
+					}
+					pending = pending[:0]
+				}
 				for i := 0; i < cfg.Objects; i++ {
 					if rng.Float64() >= cfg.Replace {
 						continue
 					}
-					old := uint64(as.Read32(t, arr+uint64(4*i)))
-					if err := al.Free(t, old); err != nil {
-						panic(fmt.Sprintf("bench2: free: %v", err))
+					pending = append(pending, i)
+					if len(pending) >= bs {
+						replaceBatch()
 					}
-					p, err := al.Malloc(t, cfg.Size)
-					if err != nil {
-						panic(fmt.Sprintf("bench2: malloc: %v", err))
-					}
-					as.Write32(t, arr+uint64(4*i), uint32(p))
 				}
+				replaceBatch()
 				al.DetachThread(t)
 				if r+1 < cfg.Rounds {
 					succ := t.Spawn(fmt.Sprintf("chain%d-r%d", chain, r+1), round(chain, r+1))
@@ -148,6 +180,7 @@ func runBench2Once(cfg B2Config, seed uint64) (B2Run, error) {
 		out.MinorFaults = st.MinorFaults
 		out.ArenaCount = len(al.Arenas())
 		out.HeapBytes = st.PeakMapped
+		out.AllocStats = al.Stats()
 	})
 	return out, err
 }

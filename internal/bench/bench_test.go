@@ -299,7 +299,7 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Fatalf("incomplete experiment %+v", e.ID)
 		}
 	}
-	for _, want := range []string{"S0", "T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11"} {
+	for _, want := range []string{"S0", "T1", "T2", "T3", "T4", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "D1", "D2"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -422,5 +422,64 @@ func TestTableRendering(t *testing.T) {
 	}
 	if tab.Rows[0][1] != "2.500" {
 		t.Fatalf("float formatting: %q", tab.Rows[0][1])
+	}
+}
+
+// TestDepotCutsArenaLockAcqsOnBench2 pins the D2 acceptance criterion: on
+// benchmark 2 with bursty replacement at 4 threads, the transfer cache must
+// take fewer arena-lock acquisitions than PR 1's depot-less thread cache.
+func TestDepotCutsArenaLockAcqsOnBench2(t *testing.T) {
+	run := func(depotCap int) uint64 {
+		costs := QuadXeon500().AllocCosts
+		costs.DepotCap = depotCap
+		costs.MmapReuseCap = -1
+		costs.CacheAdaptive = -1
+		cfg := DefaultB2(QuadXeon500())
+		cfg.Threads = 4
+		cfg.Rounds = 2
+		cfg.Objects = 2000
+		cfg.BatchReplace = 100
+		cfg.Runs = 1
+		cfg.Allocator = malloc.KindThreadCache
+		cfg.Costs = &costs
+		res, err := RunBench2(cfg)
+		if err != nil {
+			t.Fatalf("bench2 (depot cap %d): %v", depotCap, err)
+		}
+		return res.Runs[0].AllocStats.ArenaLockAcqs
+	}
+	without := run(-1)
+	with := run(8)
+	if with >= without {
+		t.Errorf("depot did not cut arena lock acquisitions: %d with vs %d without", with, without)
+	}
+}
+
+// TestReuseCutsSyscallsAndFaultsOnLarson pins the other half of D2: on an
+// above-threshold Larson workload, the mmap reuse cache must cut both the
+// mmap+munmap syscall count and the minor fault count.
+func TestReuseCutsSyscallsAndFaultsOnLarson(t *testing.T) {
+	run := func(reuseCap int64) (syscalls, faults uint64) {
+		costs := QuadXeon500().AllocCosts
+		costs.MmapReuseCap = reuseCap
+		costs.DepotCap = -1
+		costs.CacheAdaptive = -1
+		cfg := LarsonConfig{Profile: QuadXeon500(), Threads: 2, Slots: 20,
+			MinSize: 160 * 1024, MaxSize: 160 * 1024, Ops: 300, Runs: 1, Seed: 1,
+			Allocator: malloc.KindThreadCache, Costs: &costs}
+		res, err := RunLarson(cfg)
+		if err != nil {
+			t.Fatalf("larson (reuse cap %d): %v", reuseCap, err)
+		}
+		r := res.Runs[0]
+		return r.VMStats.MmapCalls + r.VMStats.MunmapCalls, r.MinorFaults
+	}
+	sysOff, faultsOff := run(-1)
+	sysOn, faultsOn := run(4 << 20)
+	if sysOn >= sysOff {
+		t.Errorf("reuse did not cut syscalls: %d with vs %d without", sysOn, sysOff)
+	}
+	if faultsOn >= faultsOff {
+		t.Errorf("reuse did not cut minor faults: %d with vs %d without", faultsOn, faultsOff)
 	}
 }

@@ -65,6 +65,7 @@ func All() []Experiment {
 		{"F10", "Figure 10: false sharing, 3 threads", "same, three-way", expFigure10},
 		{"F11", "Figure 11: false sharing, 4 threads", "up to 4x slowdowns", expFigure11},
 		{"D1", "Four allocator designs: bench 1-2 + Larson, quad Xeon", "threadcache beats ptmalloc with ~0 trylock failures", ExpDesigns},
+		{"D2", "Thread-cache mid-tier ablation: depot, mmap reuse, adaptive marks", "depot cuts arena-lock acquisitions on bench 2; reuse cuts mmap syscalls and faults above threshold", ExpMidTier},
 	}
 }
 
@@ -419,6 +420,102 @@ func ExpDesigns(o Options) (*Table, error) {
 	}
 	t.Note("speedup is ptmalloc's benchmark-1 elapsed over the design's (higher is better)")
 	t.Note("threadcache never trylocks: misses refill a batch under one blocking lock, frees park locally")
+	noteScale(t, o)
+	return t, nil
+}
+
+// ExpMidTier (D2) ablates the thread-cache middle tier on the quad Xeon:
+// the central transfer cache (depot), the mmap-region reuse cache, and
+// adaptive magazine marks — each alone against the PR-1 baseline and all
+// three together — across benchmark 1 (hot pair loop), benchmark 2
+// (producer/consumer chains, the cross-thread free killer) and an
+// above-threshold Larson variant whose every object takes the mmap path, at
+// 1/2/4/8 threads.
+func ExpMidTier(o Options) (*Table, error) {
+	prof := QuadXeon500()
+	mk := func(depot, reuse, adaptive bool) *malloc.CostParams {
+		c := prof.AllocCosts
+		if !depot {
+			c.DepotCap = -1
+		}
+		if !reuse {
+			c.MmapReuseCap = -1
+		}
+		if !adaptive {
+			c.CacheAdaptive = -1
+		}
+		return &c
+	}
+	configs := []struct {
+		name  string
+		costs *malloc.CostParams
+	}{
+		{"pr1-baseline", mk(false, false, false)},
+		{"depot-only", mk(true, false, false)},
+		{"reuse-only", mk(false, true, false)},
+		{"adaptive-only", mk(false, false, true)},
+		{"full", mk(true, true, true)},
+	}
+	t := &Table{ID: "D2", Title: "threadcache mid-tier ablation, quad Xeon: bench1 512B, bench2 chains, Larson 160KB (mmap path)",
+		Columns: []string{"config", "threads", "bench1(s)", "hit rate", "b2 faults", "b2 lock acqs", "larson mmap+munmap", "larson faults", "larson reuses"}}
+	pairs := o.pairs()
+	const runs = 2
+	for _, cfg := range configs {
+		for _, n := range []int{1, 2, 4, 8} {
+			b1, err := RunBench1(B1Config{Profile: prof, Threads: n, Size: 512, Pairs: pairs,
+				Runs: runs, Seed: o.seed(), Allocator: malloc.KindThreadCache, Costs: cfg.costs})
+			if err != nil {
+				return nil, fmt.Errorf("D2 %s bench1 %dt: %w", cfg.name, n, err)
+			}
+			b2cfg := DefaultB2(prof)
+			b2cfg.Threads = n
+			b2cfg.Rounds = 3
+			b2cfg.Objects = 4000
+			// Bursty replacement (free 100, then re-allocate 100): the pattern
+			// that pushes magazines past their marks, exercising the depot.
+			b2cfg.BatchReplace = 100
+			b2cfg.Runs = runs
+			b2cfg.Seed = o.seed()
+			b2cfg.Allocator = malloc.KindThreadCache
+			b2cfg.Costs = cfg.costs
+			b2, err := RunBench2(b2cfg)
+			if err != nil {
+				return nil, fmt.Errorf("D2 %s bench2 %dt: %w", cfg.name, n, err)
+			}
+			lcfg := LarsonConfig{Profile: prof, Threads: n, Slots: 40,
+				MinSize: 160 * 1024, MaxSize: 160 * 1024, Ops: 1200, Runs: runs, Seed: o.seed(),
+				Allocator: malloc.KindThreadCache, Costs: cfg.costs}
+			lar, err := RunLarson(lcfg)
+			if err != nil {
+				return nil, fmt.Errorf("D2 %s larson %dt: %w", cfg.name, n, err)
+			}
+			nr := float64(runs)
+			var hits, attempts, lockAcqs, syscalls, lfaults, reuses float64
+			for _, r := range b1.Runs {
+				hits += float64(r.AllocStats.CacheHits) / nr
+				attempts += float64(r.AllocStats.CacheHits+r.AllocStats.CacheMisses) / nr
+			}
+			for _, r := range b2.Runs {
+				lockAcqs += float64(r.AllocStats.ArenaLockAcqs) / nr
+			}
+			for _, r := range lar.Runs {
+				syscalls += float64(r.VMStats.MmapCalls+r.VMStats.MunmapCalls) / nr
+				lfaults += float64(r.MinorFaults) / nr
+				reuses += float64(r.AllocStats.MmapReuses) / nr
+			}
+			hitRate := "n/a"
+			if attempts > 0 {
+				hitRate = fmt.Sprintf("%.1f%%", 100*hits/attempts)
+			}
+			t.AddRow(cfg.name, n, ScaleSeconds(b1.All.Mean, pairs, FullPairs), hitRate,
+				b2.Faults.Mean, fmt.Sprintf("%.0f", lockAcqs),
+				fmt.Sprintf("%.0f", syscalls), fmt.Sprintf("%.0f", lfaults), fmt.Sprintf("%.0f", reuses))
+		}
+	}
+	t.Note("pr1-baseline is PR 1's thread cache: no depot, no mmap reuse, fixed CacheHigh marks")
+	t.Note("b2 lock acqs counts arena mutex acquisitions: the depot turns cross-thread free/refill traffic into depot exchanges")
+	t.Note("larson objects are 160KB (above the 128KB mmap threshold): reuse parks munmapped regions, pages intact")
+	t.Note("bench2 ran (threads) chains x 3 rounds x 4000 objects with 100-object replace bursts; larson ran 40 slots x 1200 ops per thread")
 	noteScale(t, o)
 	return t, nil
 }

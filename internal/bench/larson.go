@@ -6,6 +6,7 @@ import (
 	"mtmalloc/internal/malloc"
 	"mtmalloc/internal/sim"
 	"mtmalloc/internal/stats"
+	"mtmalloc/internal/vm"
 )
 
 // LarsonConfig parameterizes the Larson & Krishnan server-simulation
@@ -25,6 +26,9 @@ type LarsonConfig struct {
 	Seed    uint64
 	// Allocator overrides the profile default when non-empty.
 	Allocator malloc.Kind
+	// Costs overrides the profile's allocator cost params when non-nil
+	// (mid-tier ablations).
+	Costs *malloc.CostParams
 }
 
 // DefaultLarson returns the conventional parameters.
@@ -38,6 +42,10 @@ type LarsonRun struct {
 	Throughput  float64 // replace ops per simulated second, all threads
 	MinorFaults uint64
 	ArenaCount  int
+	// VMStats and AllocStats expose the run's syscall, fault and reuse
+	// counters for the above-threshold (mmap-path) variants.
+	VMStats    vm.Stats
+	AllocStats malloc.Stats
 }
 
 // LarsonResult aggregates runs.
@@ -72,6 +80,9 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 	var opts []WorldOption
 	if cfg.Allocator != "" {
 		opts = append(opts, WithAllocator(cfg.Allocator))
+	}
+	if cfg.Costs != nil {
+		opts = append(opts, WithAllocCosts(*cfg.Costs))
 	}
 	w := NewWorld(cfg.Profile, seed, opts...)
 	var out LarsonRun
@@ -124,8 +135,10 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 		wall := w.Seconds(main.Now() - start)
 		out.WallSeconds = wall
 		out.Throughput = float64(cfg.Ops*cfg.Threads) / wall
-		out.MinorFaults = as.Stats().MinorFaults
+		out.VMStats = as.Stats()
+		out.MinorFaults = out.VMStats.MinorFaults
 		out.ArenaCount = len(al.Arenas())
+		out.AllocStats = al.Stats()
 	})
 	return out, err
 }

@@ -33,6 +33,9 @@ type World struct {
 
 	// allocKind may override the profile's default allocator (ablations).
 	allocKind malloc.Kind
+	// allocCosts, when non-nil, overrides the profile's allocator cost
+	// params (mid-tier ablations: depot, mmap reuse, adaptive marks).
+	allocCosts *malloc.CostParams
 	// sharedKernel, when set, makes every instance contend on one kernel
 	// lock for VM syscalls (the pre-2.3.x kernel the authors patched).
 	sharedKernel *sim.Mutex
@@ -44,6 +47,13 @@ type WorldOption func(*World)
 // WithAllocator overrides the profile's allocator kind.
 func WithAllocator(kind malloc.Kind) WorldOption {
 	return func(w *World) { w.allocKind = kind }
+}
+
+// WithAllocCosts overrides the profile's allocator cost parameters, so
+// experiments can ablate individual tiers (transfer cache, mmap reuse,
+// adaptive marks) without defining a whole new profile.
+func WithAllocCosts(costs malloc.CostParams) WorldOption {
+	return func(w *World) { w.allocCosts = &costs }
 }
 
 // WithGlobalKernelLock serializes all instances' VM syscalls on one kernel
@@ -110,7 +120,11 @@ func (w *World) AddInstance(t *sim.Thread) (*Instance, error) {
 	for i := 0; i < w.Profile.BootstrapPages; i++ {
 		as.Touch(t, vm.TextBase+uint64(i)*vm.PageSize)
 	}
-	al, err := malloc.New(t, w.allocKind, as, w.Profile.HeapParams, w.Profile.AllocCosts)
+	costs := w.Profile.AllocCosts
+	if w.allocCosts != nil {
+		costs = *w.allocCosts
+	}
+	al, err := malloc.New(t, w.allocKind, as, w.Profile.HeapParams, costs)
 	if err != nil {
 		return nil, fmt.Errorf("bench: creating allocator: %w", err)
 	}

@@ -457,7 +457,9 @@ func (a *Arena) maybeTrim(t *sim.Thread) {
 
 // MmapChunk serves one request with a dedicated anonymous mapping (requests
 // at or above the mmap threshold). It does not require the arena lock in
-// ptmalloc and is placed here for chunk-format consistency.
+// ptmalloc and is placed here for chunk-format consistency. When the address
+// space's reuse cache holds a parked region of the same mapping length it is
+// re-handed out without a syscall and with its pages still resident.
 func (a *Arena) MmapChunk(t *sim.Thread, req uint32) (uint64, error) {
 	sz := a.params.Request2Size(req)
 	align := uint64(a.params.Align)
@@ -465,9 +467,13 @@ func (a *Arena) MmapChunk(t *sim.Thread, req uint32) (uint64, error) {
 		align = 8
 	}
 	mapLen := pageCeilU(uint64(sz) + HeaderSz + align)
-	base, err := a.as.Mmap(t, mapLen, "mmap-chunk")
-	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrNoMemory, err)
+	base, reused := a.as.MmapFromReuse(t, mapLen)
+	if !reused {
+		b, err := a.as.Mmap(t, mapLen, "mmap-chunk")
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrNoMemory, err)
+		}
+		base = b
 	}
 	c := a.alignFirstChunk(base)
 	offset := c - base
@@ -478,7 +484,9 @@ func (a *Arena) MmapChunk(t *sim.Thread, req uint32) (uint64, error) {
 	return c + HeaderSz, nil
 }
 
-// FreeMmapChunk releases a chunk created by MmapChunk.
+// FreeMmapChunk releases a chunk created by MmapChunk. MunmapChunks counts
+// the chunk-level release either way; whether a munmap syscall really
+// happened is visible in the address space's MunmapCalls/MmapReuseParks.
 func (a *Arena) FreeMmapChunk(t *sim.Thread, mem uint64) error {
 	c := mem - HeaderSz
 	w := a.sizeWord(t, c)
@@ -490,6 +498,15 @@ func (a *Arena) FreeMmapChunk(t *sim.Thread, mem uint64) error {
 	mapLen := uint64(w&^FlagMask) + offset + HeaderSz
 	a.stats.MunmapChunks++
 	a.stats.BytesInUse -= mapLen
+	if a.as.MunmapReuse(t, base, mapLen) {
+		// A parked region keeps its pages, so the stale header would still
+		// read as an mmapped chunk and a double free would park the region
+		// twice (aliasing two live allocations later). Poison the size word
+		// so the IsMmapped guard rejects the second free instead; MmapChunk
+		// rewrites the header when the region is reused.
+		a.setSizeWord(t, c, 0)
+		return nil
+	}
 	return a.as.Munmap(t, base, mapLen)
 }
 

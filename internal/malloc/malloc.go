@@ -3,15 +3,43 @@
 //
 //   - Serial: one arena behind one mutex — the classic thread-safe libc
 //     malloc (the paper's Solaris 2.6 allocator).
+//
 //   - PTMalloc: Gloger's ptmalloc as shipped in glibc 2.0/2.1 — an arena
 //     list searched with trylock, growing a new arena when every existing
 //     one is busy, with per-thread last-arena caching.
+//
 //   - PerThread: one private arena per thread (the "per-thread storage"
 //     option 2 from the paper's §2), cross-thread frees lock the owner.
 //
+//   - ThreadCache: the magazine design later allocators converged on,
+//     grown here into a three-tier hierarchy:
+//
+//     magazine -> transfer cache -> arena pool
+//
+//     Tier 1 is a per-thread, per-size-class magazine: pops and pushes are
+//     lock-free and cost CacheHit cycles. Each class's high-water mark is
+//     adaptive by default (CacheAdaptive): it starts at CacheBatch, grows by
+//     a batch after CacheGrowStreak consecutive lock-free hits, shrinks by a
+//     batch whenever the class flushes, and is clamped to [CacheBatch,
+//     CacheHigh]. Tier 2 is the central transfer cache (the depot): a shared
+//     per-size-class store of chunk spans behind per-class locks. Magazine
+//     misses try the depot (DepotXfer cycles plus one lock) before touching
+//     any arena, and magazine flushes/detaches donate whole spans to it —so
+//     cross-thread free traffic becomes one depot exchange instead of N
+//     arena-lock frees. Each depot class parks at most DepotCap spans;
+//     overflow falls through to tier 3, the CPU-bounded shared arena pool.
+//
 // All variants serve requests at or above the mmap threshold from dedicated
 // anonymous mappings, as glibc does ("mmap() for allocation requests larger
-// than 32 pages").
+// than 32 pages"). A fourth, orthogonal tier lives in the vm layer: the
+// mmap-region reuse cache (MmapReuseCap bytes, MmapReuseWork cycles per
+// operation) parks munmapped above-threshold regions — pages intact — on a
+// bounded size-bucketed list and re-hands them out without a syscall or
+// fresh first-touch faults. ThreadCache enables it by default
+// (DefaultMmapReuseCap); the paper's designs leave it off so their measured
+// syscall and fault counts stay faithful. Stats reports all tiers:
+// Depot{Hits,Misses,Donates,Overflows,Chunks}, CacheMark{Grows,Shrinks},
+// ArenaLockAcqs, and MmapReuses/MmapReuseBytes.
 //
 // # Shared C library state model
 //
@@ -58,9 +86,35 @@ type CostParams struct {
 	CacheRefill int64  // fixed overhead per batch refill (on top of WorkMalloc)
 	CacheFlush  int64  // fixed overhead per batch flush (on top of WorkFree)
 	CacheBatch  int    // chunks pulled from the arena per refill
-	CacheHigh   int    // per-class high-water mark that triggers a flush
+	CacheHigh   int    // per-class high-water mark (the cap under adaptive sizing)
 	CacheMax    uint32 // largest chunk size served from the cache
+
+	// Central transfer cache (the depot between thread magazines and the
+	// arena pool). Zero values take NewThreadCache defaults; DepotCap < 0
+	// disables the depot entirely (PR-1 behaviour: flushes free chunk by
+	// chunk into arenas).
+	DepotXfer int64 // cycles per depot span exchange, on top of the lock costs
+	DepotCap  int   // max spans parked per depot size class; < 0 disables
+
+	// Adaptive magazine sizing (tcmalloc's slow start). CacheAdaptive >= 0
+	// grows each class's high-water mark on consecutive-hit streaks and
+	// shrinks it on flush pressure, between CacheBatch and CacheHigh;
+	// CacheAdaptive < 0 pins every mark at CacheHigh (the PR-1 fixed mark).
+	CacheAdaptive   int
+	CacheGrowStreak int // consecutive lock-free hits that grow a class's mark
+
+	// Mmap-region reuse cache (shared vm tier). MmapReuseCap is the byte cap
+	// on parked regions: 0 leaves the cache off for designs that predate it
+	// (the paper's allocators), NewThreadCache defaults it on; < 0 disables
+	// it explicitly.
+	MmapReuseCap  int64
+	MmapReuseWork int64 // cycles per reuse-cache park/lookup
 }
+
+// DefaultMmapReuseCap is the parked-bytes cap NewThreadCache applies when
+// MmapReuseCap is zero: a few above-threshold regions, bounded so the RSS
+// the cache holds back from the kernel stays honest.
+const DefaultMmapReuseCap = 4 << 20
 
 // DefaultCostParams returns mid-range constants; machine profiles override.
 func DefaultCostParams() CostParams {
@@ -75,6 +129,14 @@ func DefaultCostParams() CostParams {
 		CacheBatch:    16,
 		CacheHigh:     64,
 		CacheMax:      32 * 1024,
+
+		DepotXfer:       45,
+		DepotCap:        8,
+		CacheGrowStreak: 64,
+		MmapReuseWork:   30,
+		// MmapReuseCap stays 0: only designs that opt in (NewThreadCache
+		// defaults it to DefaultMmapReuseCap) enable the reuse tier, so the
+		// paper's allocators keep their measured syscall and fault counts.
 	}
 }
 
@@ -88,12 +150,27 @@ type Stats struct {
 	// caller's current arena
 	// Thread-cache counters (zero for designs without a front cache).
 	CacheHits    uint64 // mallocs served from the local cache, no lock
-	CacheMisses  uint64 // mallocs that had to refill from an arena
-	CacheRefills uint64 // batch refills performed
-	CacheFlushes uint64 // batch flushes back to the arenas
+	CacheMisses  uint64 // mallocs that had to refill from a depot span or arena
+	CacheRefills uint64 // batch refills performed against an arena
+	CacheFlushes uint64 // batch flushes that reached the arenas
 	CachedChunks int    // chunks parked in thread caches right now
-	ArenaCount   int
-	Heap         heap.Stats // summed over arenas
+	// Central transfer-cache (depot) counters.
+	DepotHits      uint64 // magazine misses served by a depot span, no arena lock
+	DepotMisses    uint64 // depot class empty: the miss fell through to an arena
+	DepotDonates   uint64 // spans donated to the depot by flushes and detaches
+	DepotOverflows uint64 // spans refused by a full depot class (arena-freed)
+	DepotChunks    int    // chunks parked in the depot right now
+	// Adaptive magazine sizing counters.
+	CacheMarkGrows   uint64 // per-class marks grown on hit streaks
+	CacheMarkShrinks uint64 // per-class marks shrunk on flush pressure
+	// ArenaLockAcqs sums the arenas' mutex acquisitions: the contention
+	// currency the transfer cache exists to save.
+	ArenaLockAcqs uint64
+	// Mmap-region reuse counters, mirrored from the address space.
+	MmapReuses     uint64 // above-threshold regions served without a syscall
+	MmapReuseBytes uint64 // cumulative bytes served from the reuse cache
+	ArenaCount     int
+	Heap           heap.Stats // summed over arenas
 }
 
 // Allocator is the public allocator interface: the system malloc/free pair
@@ -152,6 +229,9 @@ func newBase(t *sim.Thread, name string, as *vm.AddressSpace, params heap.Params
 		listLock:  as.Machine().NewMutex(name + ".list"),
 		attached:  make(map[int]bool),
 		lastArena: make(map[int]*heap.Arena),
+	}
+	if costs.MmapReuseCap > 0 {
+		as.SetMmapReuse(uint64(costs.MmapReuseCap), costs.MmapReuseWork)
 	}
 	main, err := heap.NewMain(t, as, &b.params)
 	if err != nil {
@@ -234,7 +314,11 @@ func (b *base) freeIfMmapped(t *sim.Thread, mem uint64) (bool, error) {
 func (b *base) sumStats() Stats {
 	s := b.stats
 	s.ArenaCount = len(b.arenas)
+	vs := b.as.Stats()
+	s.MmapReuses = vs.MmapReuses
+	s.MmapReuseBytes = vs.MmapReuseBytes
 	for _, a := range b.arenas {
+		s.ArenaLockAcqs += a.Lock.Acquisitions
 		as := a.Stats()
 		s.Heap.Mallocs += as.Mallocs
 		s.Heap.Frees += as.Frees

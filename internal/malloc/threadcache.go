@@ -15,23 +15,31 @@ import (
 // free-list cache sitting in front of a small shared arena pool.
 //
 //   - malloc pops from the caller's local cache with zero locking; a miss
-//     refills a batch of CacheBatch chunks from the thread's home arena
-//     under a single lock acquisition;
+//     first tries the central transfer cache (one span under one class
+//     lock), and only a depot miss refills a batch of CacheBatch chunks
+//     from the thread's home arena under its lock;
 //   - free pushes onto the local cache without touching any lock, wherever
 //     the chunk's owning arena is — the cross-thread frees that make
 //     benchmark 2 hammer foreign arena locks in ptmalloc are simply parked
-//     locally, and returned in arena-grouped batches only when a class
-//     crosses its high-water mark;
+//     locally, and donated to the depot in whole spans only when a class
+//     crosses its high-water mark (arena-grouped frees remain the fallback
+//     when the depot is full or disabled);
+//   - per-class high-water marks are adaptive by default: they slow-start
+//     at one batch, grow on consecutive-hit streaks and shrink on flush
+//     pressure, bounded by CacheHigh;
 //   - the arena pool is capped at the machine's CPU count (threads map onto
 //     home arenas round-robin), so T threads cost min(T, CPUs) arenas
 //     instead of PerThread's T.
 //
-// Cached chunks look allocated from the arena's point of view, so every
-// structural invariant Check() enforces keeps holding; the price is that
-// parked chunks cannot coalesce until they are flushed.
+// Cached chunks — magazine or depot — look allocated from the arena's point
+// of view, so every structural invariant Check() enforces keeps holding; the
+// price is that parked chunks cannot coalesce until they are flushed.
 type ThreadCache struct {
 	*base
 	caches map[int]*tcache
+
+	// depot is the central transfer cache, nil when disabled (DepotCap < 0).
+	depot *transferCache
 
 	// nextHome hands out home arenas round-robin across the pool.
 	nextHome int
@@ -40,6 +48,10 @@ type ThreadCache struct {
 	batch     int
 	highWater int
 	maxBlock  uint32
+
+	// Adaptive magazine sizing (tcmalloc slow start).
+	adaptive   bool
+	growStreak int
 
 	// User-level op counts: arena counters include batch refills and
 	// deferred flushes, so Stats() reports these instead.
@@ -54,9 +66,16 @@ type tcEntry struct {
 	arena *heap.Arena
 }
 
-// tcClass is one exact-chunk-size free list in a thread's cache (LIFO).
+// tcClass is one exact-chunk-size free list in a thread's cache (LIFO),
+// plus its adaptive high-water state.
 type tcClass struct {
+	csz     uint32
 	entries []tcEntry
+	// mark is the class's current high-water mark; fixed at CacheHigh when
+	// adaptive sizing is off, otherwise slow-started at one batch.
+	mark int
+	// streak counts consecutive lock-free hits since the last miss or flush.
+	streak int
 }
 
 // tcache is one thread's private front cache.
@@ -65,14 +84,18 @@ type tcache struct {
 	classes map[uint32]*tcClass
 }
 
-// push files a chunk under its exact chunk size and returns the class.
-func (c *tcache) push(csz uint32, e tcEntry) *tcClass {
+// classOf returns (creating if needed) the cache's class for chunk size csz,
+// initialising its high-water mark per the sizing policy.
+func (tc *ThreadCache) classOf(c *tcache, csz uint32) *tcClass {
 	cl := c.classes[csz]
 	if cl == nil {
-		cl = &tcClass{}
+		mark := tc.highWater
+		if tc.adaptive {
+			mark = tc.batch
+		}
+		cl = &tcClass{csz: csz, mark: mark}
 		c.classes[csz] = cl
 	}
-	cl.entries = append(cl.entries, e)
 	return cl
 }
 
@@ -98,6 +121,23 @@ func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, cost
 	if costs.CacheMax == 0 {
 		costs.CacheMax = def.CacheMax
 	}
+	if costs.DepotXfer == 0 {
+		costs.DepotXfer = def.DepotXfer
+	}
+	if costs.DepotCap == 0 {
+		costs.DepotCap = def.DepotCap
+	}
+	if costs.CacheGrowStreak <= 0 {
+		costs.CacheGrowStreak = def.CacheGrowStreak
+	}
+	if costs.MmapReuseWork == 0 {
+		costs.MmapReuseWork = def.MmapReuseWork
+	}
+	if costs.MmapReuseCap == 0 {
+		// The modern design defaults the vm reuse tier on; the paper's
+		// allocators leave it off unless a profile opts in.
+		costs.MmapReuseCap = DefaultMmapReuseCap
+	}
 	b, err := newBase(t, "threadcache", as, params, costs)
 	if err != nil {
 		return nil, err
@@ -106,14 +146,20 @@ func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, cost
 	if cap < 1 {
 		cap = 1
 	}
-	return &ThreadCache{
-		base:      b,
-		caches:    make(map[int]*tcache),
-		poolCap:   cap,
-		batch:     costs.CacheBatch,
-		highWater: costs.CacheHigh,
-		maxBlock:  costs.CacheMax,
-	}, nil
+	tc := &ThreadCache{
+		base:       b,
+		caches:     make(map[int]*tcache),
+		poolCap:    cap,
+		batch:      costs.CacheBatch,
+		highWater:  costs.CacheHigh,
+		maxBlock:   costs.CacheMax,
+		adaptive:   costs.CacheAdaptive >= 0,
+		growStreak: costs.CacheGrowStreak,
+	}
+	if costs.DepotCap > 0 {
+		tc.depot = newTransferCache(as.Machine(), b.name, costs.DepotCap, costs.DepotXfer, &b.stats)
+	}
+	return tc, nil
 }
 
 // cacheOf returns (creating if needed) the calling thread's cache. Creation
@@ -178,11 +224,25 @@ func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 			cl.entries = cl.entries[:len(cl.entries)-1]
 			t.Charge(sim.Time(tc.costs.CacheHit))
 			tc.stats.CacheHits++
+			tc.growOnStreak(cl)
 			tc.userMallocs++
 			tc.lastArena[t.ID()] = e.arena
 			return e.mem, nil
 		}
 		tc.stats.CacheMisses++
+		// Tier 2: one span from the transfer cache costs a class lock and
+		// DepotXfer cycles — no arena lock, no per-chunk malloc work.
+		if tc.depot != nil {
+			if span, ok := tc.depot.get(t, sz); ok {
+				cl := tc.classOf(c, sz)
+				cl.streak = 0
+				e := span[len(span)-1]
+				cl.entries = append(cl.entries, span[:len(span)-1]...)
+				tc.userMallocs++
+				tc.lastArena[t.ID()] = e.arena
+				return e.mem, nil
+			}
+		}
 		mem, err := tc.arenaBatch(t, c, size, tc.batch-1, tc.costs.CacheRefill+tc.costs.WorkMalloc)
 		if err == nil {
 			tc.userMallocs++
@@ -217,7 +277,9 @@ func (tc *ThreadCache) arenaBatch(t *sim.Thread, c *tcache, req uint32, extra in
 					if perr != nil {
 						break // partial refill: the user chunk is in hand
 					}
-					c.push(a.ChunkSizeOf(t, p), tcEntry{p, a})
+					cl := tc.classOf(c, a.ChunkSizeOf(t, p))
+					cl.entries = append(cl.entries, tcEntry{p, a})
+					cl.streak = 0
 				}
 			}
 			t.Unlock(a.Lock)
@@ -274,8 +336,9 @@ func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 		if c.home != nil && c.home != a {
 			tc.stats.CrossArenaFrees++
 		}
-		cl := c.push(csz, tcEntry{mem, a})
-		if len(cl.entries) > tc.highWater {
+		cl := tc.classOf(c, csz)
+		cl.entries = append(cl.entries, tcEntry{mem, a})
+		if len(cl.entries) > cl.mark {
 			return tc.flushClass(t, cl)
 		}
 		return nil
@@ -290,28 +353,95 @@ func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 	return ferr
 }
 
-// flushClass returns the oldest half of an over-full class to the arenas,
-// keeping the hot top of the stack local.
+// growOnStreak advances a class's hit streak and grows its adaptive mark by
+// one batch after growStreak consecutive lock-free hits, up to CacheHigh.
+func (tc *ThreadCache) growOnStreak(cl *tcClass) {
+	if !tc.adaptive {
+		return
+	}
+	cl.streak++
+	if cl.streak < tc.growStreak {
+		return
+	}
+	cl.streak = 0
+	if cl.mark < tc.highWater {
+		cl.mark += tc.batch
+		if cl.mark > tc.highWater {
+			cl.mark = tc.highWater
+		}
+		tc.stats.CacheMarkGrows++
+	}
+}
+
+// flushClass releases the oldest portion of an over-full class — to the
+// depot in whole spans, to the arenas on depot overflow — keeping the hot
+// top of the stack local. The kept suffix is retained in place (copy-down)
+// instead of reallocated, and flush pressure shrinks the adaptive mark.
 func (tc *ThreadCache) flushClass(t *sim.Thread, cl *tcClass) error {
-	keep := tc.highWater / 2
-	victims := cl.entries[:len(cl.entries)-keep]
-	rest := make([]tcEntry, keep)
-	copy(rest, cl.entries[len(cl.entries)-keep:])
-	cl.entries = rest
+	keep := cl.mark / 2
+	n := len(cl.entries) - keep
+	// Release whole spans where possible: a sub-batch remainder stays
+	// parked instead of wasting a depot slot (and a later full exchange) on
+	// a tiny span. Releases no larger than one batch go out as-is, so a
+	// flush always relieves pressure.
+	if tc.depot != nil && n > tc.batch {
+		n -= n % tc.batch
+	}
+	err := tc.release(t, cl.csz, cl.entries[:n])
+	copy(cl.entries, cl.entries[n:])
+	cl.entries = cl.entries[:len(cl.entries)-n]
+	if tc.adaptive {
+		cl.streak = 0
+		if cl.mark > tc.batch {
+			cl.mark -= tc.batch
+			if cl.mark < tc.batch {
+				cl.mark = tc.batch
+			}
+			tc.stats.CacheMarkShrinks++
+		}
+	}
+	return err
+}
+
+// release returns victims (all of class csz) to the system: spans of up to
+// CacheBatch chunks are donated to the transfer cache (a trailing partial
+// span included — detach must empty the magazine), and whatever the depot
+// refuses — or everything, when it is disabled — is freed into the owning
+// arenas. Donated spans are copies, but the arena fallback reorders victims
+// in place; the slice holds nothing of value once release returns, and the
+// caller may reuse its backing storage.
+func (tc *ThreadCache) release(t *sim.Thread, csz uint32, victims []tcEntry) error {
+	if tc.depot != nil {
+		for len(victims) > 0 {
+			sn := tc.batch
+			if sn > len(victims) {
+				sn = len(victims)
+			}
+			span := make([]tcEntry, sn)
+			copy(span, victims[:sn])
+			if !tc.depot.put(t, csz, span) {
+				break
+			}
+			victims = victims[sn:]
+		}
+	}
 	return tc.flush(t, victims)
 }
 
-// flush frees victims into their owning arenas, taking each arena's lock
-// once per consecutive run (refills produce same-arena runs, so this is one
-// acquisition per batch in the common case). The victims are already off
-// their class list, so every one is freed even when an earlier one errors;
-// the first error is reported after the batch completes.
+// flush frees victims into their owning arenas. Victims are pre-sorted by
+// arena index so interleaved cross-arena batches still take each arena's
+// lock exactly once; the sort is stable, preserving LIFO order within an
+// arena. Every victim is freed even when an earlier one errors; the first
+// error is reported after the batch completes.
 func (tc *ThreadCache) flush(t *sim.Thread, victims []tcEntry) error {
 	if len(victims) == 0 {
 		return nil
 	}
 	tc.stats.CacheFlushes++
 	t.Charge(sim.Time(tc.costs.CacheFlush))
+	sort.SliceStable(victims, func(i, j int) bool {
+		return victims[i].arena.Index < victims[j].arena.Index
+	})
 	var firstErr error
 	i := 0
 	for i < len(victims) {
@@ -329,8 +459,10 @@ func (tc *ThreadCache) flush(t *sim.Thread, victims []tcEntry) error {
 	return firstErr
 }
 
-// DetachThread flushes and discards the thread's cache before detaching, the
-// way a pthread destructor returns a dying thread's magazine.
+// DetachThread returns the dying thread's magazines — whole spans to the
+// depot, overflow to the arenas — and discards its cache, the way a pthread
+// destructor returns a magazine. Surviving threads then refill from the
+// depot instead of the arena locks (benchmark 2's round handoff).
 func (tc *ThreadCache) DetachThread(t *sim.Thread) {
 	if c := tc.caches[t.ID()]; c != nil {
 		sizes := make([]int, 0, len(c.classes))
@@ -340,8 +472,8 @@ func (tc *ThreadCache) DetachThread(t *sim.Thread) {
 		sort.Ints(sizes)
 		for _, csz := range sizes {
 			cl := c.classes[uint32(csz)]
-			if err := tc.flush(t, cl.entries); err != nil {
-				panic(fmt.Sprintf("malloc: thread-cache flush on detach: %v", err))
+			if err := tc.release(t, uint32(csz), cl.entries); err != nil {
+				panic(fmt.Sprintf("malloc: thread-cache release on detach: %v", err))
 			}
 			cl.entries = nil
 		}
@@ -374,12 +506,15 @@ func (tc *ThreadCache) Stats() Stats {
 			s.CachedChunks += len(cl.entries)
 		}
 	}
+	if tc.depot != nil {
+		s.DepotChunks = tc.depot.chunkCount()
+	}
 	return s
 }
 
 // Check verifies every arena plus the cache invariants: every parked chunk
-// must lie inside the arena recorded for it and appear in at most one cache
-// slot.
+// — magazine or depot — must lie inside the arena recorded for it and appear
+// in at most one cache slot across all tiers.
 func (tc *ThreadCache) Check() error {
 	if err := tc.checkAll(); err != nil {
 		return err
@@ -397,6 +532,9 @@ func (tc *ThreadCache) Check() error {
 				}
 			}
 		}
+	}
+	if tc.depot != nil {
+		return tc.depot.check(seen)
 	}
 	return nil
 }

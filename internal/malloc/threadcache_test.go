@@ -80,11 +80,30 @@ func TestThreadCacheBatchAccounting(t *testing.T) {
 
 		al.DetachThread(main)
 		st = al.Stats()
-		if got := al.Arenas()[0].Stats().Frees; got != batch {
-			t.Errorf("arena frees after detach=%d, want %d (magazine returned)", got, batch)
+		if got := al.Arenas()[0].Stats().Frees; got != 0 {
+			t.Errorf("arena frees after detach=%d, want 0 (magazine donated to the depot)", got)
 		}
 		if st.CachedChunks != 0 {
 			t.Errorf("cached chunks after detach=%d, want 0", st.CachedChunks)
+		}
+		if st.DepotChunks != int(batch) {
+			t.Errorf("depot chunks after detach=%d, want %d", st.DepotChunks, batch)
+		}
+		if st.DepotDonates == 0 {
+			t.Error("detach donated no spans to the depot")
+		}
+
+		// The next miss is served by the depot span, not an arena refill.
+		if _, err := al.Malloc(main, 64); err != nil {
+			t.Errorf("Malloc after detach: %v", err)
+			return
+		}
+		st = al.Stats()
+		if st.DepotHits != 1 {
+			t.Errorf("depot hits=%d, want 1", st.DepotHits)
+		}
+		if got := al.Arenas()[0].Stats().Mallocs; got != batch {
+			t.Errorf("arena mallocs=%d after depot hit, want still %d", got, batch)
 		}
 		if err := al.Check(); err != nil {
 			t.Errorf("Check: %v", err)
@@ -96,13 +115,71 @@ func TestThreadCacheBatchAccounting(t *testing.T) {
 }
 
 // TestThreadCacheFlushHighWater verifies a class crossing its high-water
-// mark flushes its oldest half back to the arenas.
+// mark releases its oldest portion — as whole spans donated to the depot,
+// with no arena lock traffic.
 func TestThreadCacheFlushHighWater(t *testing.T) {
 	m, as := newWorld(2, 43)
 	err := m.Run(func(main *sim.Thread) {
 		costs := DefaultCostParams()
 		costs.CacheBatch = 4
 		costs.CacheHigh = 8
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		const n = 20
+		var ps []uint64
+		for i := 0; i < n; i++ {
+			p, err := al.Malloc(main, 64)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			if err := al.Free(main, p); err != nil {
+				t.Errorf("Free: %v", err)
+				return
+			}
+		}
+		st := al.Stats()
+		if st.DepotDonates < 2 {
+			t.Errorf("depot donates=%d, want >= 2 over %d frees with high water %d", st.DepotDonates, n, costs.CacheHigh)
+		}
+		if st.CachedChunks > costs.CacheHigh {
+			t.Errorf("cached chunks=%d exceed high water %d", st.CachedChunks, costs.CacheHigh)
+		}
+		if got := al.Arenas()[0].Stats().Frees; got != 0 {
+			t.Errorf("arena frees=%d, want 0 (releases donated to the depot)", got)
+		}
+		if st.CachedChunks+st.DepotChunks != n {
+			t.Errorf("cached %d + depot %d chunks, want %d parked in total", st.CachedChunks, st.DepotChunks, n)
+		}
+		if st.Heap.Frees != n {
+			t.Errorf("user frees=%d, want %d", st.Heap.Frees, n)
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThreadCacheFlushNoDepot pins the PR-1 fallback: with the depot
+// disabled, a class crossing its (fixed) high-water mark flushes its oldest
+// portion chunk by chunk into the owning arenas.
+func TestThreadCacheFlushNoDepot(t *testing.T) {
+	m, as := newWorld(2, 43)
+	err := m.Run(func(main *sim.Thread) {
+		costs := DefaultCostParams()
+		costs.CacheBatch = 4
+		costs.CacheHigh = 8
+		costs.DepotCap = -1
+		costs.CacheAdaptive = -1
 		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
 		if err != nil {
 			t.Errorf("NewThreadCache: %v", err)
@@ -133,6 +210,9 @@ func TestThreadCacheFlushHighWater(t *testing.T) {
 		}
 		if got := al.Arenas()[0].Stats().Frees; got == 0 {
 			t.Error("no frees reached the arena despite flushes")
+		}
+		if st.DepotDonates != 0 || st.DepotHits != 0 {
+			t.Errorf("depot counters %d/%d moved with the depot disabled", st.DepotDonates, st.DepotHits)
 		}
 		if st.Heap.Frees != n {
 			t.Errorf("user frees=%d, want %d", st.Heap.Frees, n)
@@ -382,6 +462,215 @@ func TestThreadCacheMmapOnlyThreadPaysNoArena(t *testing.T) {
 		}
 		if got := al.Stats().MmapDirect; got != 1 {
 			t.Errorf("MmapDirect = %d, want 1", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveMarkGrowsOnHitStreak: steady lock-free hits slow-start a
+// class's mark from one batch up toward CacheHigh; the fixed-mark mode
+// never moves.
+func TestAdaptiveMarkGrowsOnHitStreak(t *testing.T) {
+	run := func(adaptive int) Stats {
+		m, as := newWorld(2, 89)
+		var st Stats
+		err := m.Run(func(main *sim.Thread) {
+			costs := DefaultCostParams()
+			costs.CacheBatch = 4
+			costs.CacheHigh = 16
+			costs.CacheGrowStreak = 8
+			costs.CacheAdaptive = adaptive
+			al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+			if err != nil {
+				t.Errorf("NewThreadCache: %v", err)
+				return
+			}
+			// Malloc/free pairs: every pop after the first refill is a hit.
+			for i := 0; i < 100; i++ {
+				p, err := al.Malloc(main, 64)
+				if err != nil {
+					t.Errorf("Malloc: %v", err)
+					return
+				}
+				if err := al.Free(main, p); err != nil {
+					t.Errorf("Free: %v", err)
+					return
+				}
+			}
+			st = al.Stats()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	ad := run(0)
+	if ad.CacheMarkGrows == 0 {
+		t.Errorf("adaptive marks never grew over 100 hit pairs: %+v grows", ad.CacheMarkGrows)
+	}
+	fixed := run(-1)
+	if fixed.CacheMarkGrows != 0 || fixed.CacheMarkShrinks != 0 {
+		t.Errorf("fixed marks moved: grows=%d shrinks=%d", fixed.CacheMarkGrows, fixed.CacheMarkShrinks)
+	}
+}
+
+// TestAdaptiveMarkShrinksOnFlushPressure: after hit streaks have grown the
+// mark, a free storm (many more frees than allocations outstanding) flushes
+// the class repeatedly and walks the mark back down.
+func TestAdaptiveMarkShrinksOnFlushPressure(t *testing.T) {
+	m, as := newWorld(2, 97)
+	err := m.Run(func(main *sim.Thread) {
+		costs := DefaultCostParams()
+		costs.CacheBatch = 4
+		costs.CacheHigh = 16
+		costs.CacheGrowStreak = 8
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		// Grow the mark with pair traffic first.
+		for i := 0; i < 100; i++ {
+			p, err := al.Malloc(main, 64)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			if err := al.Free(main, p); err != nil {
+				t.Errorf("Free: %v", err)
+				return
+			}
+		}
+		grown := al.Stats().CacheMarkGrows
+		if grown == 0 {
+			t.Fatal("precondition failed: mark never grew")
+		}
+		// Free storm: allocate a pile, then free it all back.
+		var ps []uint64
+		for i := 0; i < 60; i++ {
+			p, err := al.Malloc(main, 64)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			if err := al.Free(main, p); err != nil {
+				t.Errorf("Free: %v", err)
+				return
+			}
+		}
+		st := al.Stats()
+		if st.CacheMarkShrinks == 0 {
+			t.Error("flush storm never shrank the adaptive mark")
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThreadCacheMmapReuse: freeing an above-threshold chunk parks its
+// region; the next same-size request reuses it with no mmap syscall and no
+// fresh first-touch faults.
+func TestThreadCacheMmapReuse(t *testing.T) {
+	m, as := newWorld(2, 101)
+	err := m.Run(func(main *sim.Thread) {
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), DefaultCostParams())
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		const sz = 256 * 1024
+		p, err := al.Malloc(main, sz)
+		if err != nil {
+			t.Errorf("Malloc: %v", err)
+			return
+		}
+		// Touch the payload so the region's pages are faulted in.
+		space := al.AddressSpace()
+		for off := uint64(0); off < sz; off += 4096 {
+			space.Write8(main, p+off, 0xAB)
+		}
+		vs := space.Stats()
+		mmaps, munmaps, faults := vs.MmapCalls, vs.MunmapCalls, vs.MinorFaults
+		if err := al.Free(main, p); err != nil {
+			t.Errorf("Free: %v", err)
+			return
+		}
+		q, err := al.Malloc(main, sz)
+		if err != nil {
+			t.Errorf("Malloc 2: %v", err)
+			return
+		}
+		if q != p {
+			t.Errorf("second mmap chunk at 0x%x, want reused 0x%x", q, p)
+		}
+		for off := uint64(0); off < sz; off += 4096 {
+			space.Read8(main, q+off)
+		}
+		vs = space.Stats()
+		if vs.MmapCalls != mmaps || vs.MunmapCalls != munmaps {
+			t.Errorf("reuse made syscalls: mmap %d->%d munmap %d->%d", mmaps, vs.MmapCalls, munmaps, vs.MunmapCalls)
+		}
+		if vs.MinorFaults != faults {
+			t.Errorf("reused region re-faulted: %d -> %d", faults, vs.MinorFaults)
+		}
+		st := al.Stats()
+		if st.MmapReuses != 1 || st.MmapReuseBytes == 0 {
+			t.Errorf("allocator reuse stats = %d/%d, want 1/nonzero", st.MmapReuses, st.MmapReuseBytes)
+		}
+		if err := al.Free(main, q); err != nil {
+			t.Errorf("Free 2: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMmapDoubleFreeRejectedWithReuse: parking a region must not let a
+// double free park it twice — the second free errors, and subsequent
+// above-threshold allocations get distinct regions.
+func TestMmapDoubleFreeRejectedWithReuse(t *testing.T) {
+	m, as := newWorld(2, 103)
+	err := m.Run(func(main *sim.Thread) {
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), DefaultCostParams())
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		const sz = 256 * 1024
+		p, err := al.Malloc(main, sz)
+		if err != nil {
+			t.Errorf("Malloc: %v", err)
+			return
+		}
+		if err := al.Free(main, p); err != nil {
+			t.Errorf("Free: %v", err)
+			return
+		}
+		if err := al.Free(main, p); err == nil {
+			t.Error("double free of a parked mmap chunk succeeded")
+		}
+		q1, err := al.Malloc(main, sz)
+		if err != nil {
+			t.Errorf("Malloc q1: %v", err)
+			return
+		}
+		q2, err := al.Malloc(main, sz)
+		if err != nil {
+			t.Errorf("Malloc q2: %v", err)
+			return
+		}
+		if q1 == q2 {
+			t.Errorf("two live allocations alias one region at 0x%x", q1)
 		}
 	})
 	if err != nil {

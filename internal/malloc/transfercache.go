@@ -1,0 +1,135 @@
+package malloc
+
+import (
+	"fmt"
+	"sort"
+
+	"mtmalloc/internal/heap"
+	"mtmalloc/internal/sim"
+)
+
+// transferCache is the tcmalloc-style central depot sitting between the
+// per-thread magazines and the arena pool: a per-size-class store of chunk
+// spans, each class behind its own lock. Magazine misses try the depot
+// before taking an arena lock; magazine flushes and thread detaches donate
+// whole spans instead of freeing chunk by chunk into arenas, so the
+// cross-thread free traffic of benchmark 2 becomes one depot exchange per
+// span. Every class parks at most spanCap spans; overflow falls through to
+// the arenas, which keeps the depot from becoming an unbounded leak.
+//
+// Chunks in the depot look allocated from their arena's point of view (the
+// same invariant the magazines rely on), and every entry still records its
+// owning arena, so spans may mix arenas freely and later flushes route
+// correctly.
+type transferCache struct {
+	mach    *sim.Machine
+	name    string
+	classes map[uint32]*depotClass
+	spanCap int
+	xfer    int64
+	stats   *Stats
+}
+
+// depotClass is one size class of the depot: its lock and parked spans.
+type depotClass struct {
+	lock  *sim.Mutex
+	spans [][]tcEntry
+}
+
+func newTransferCache(m *sim.Machine, name string, spanCap int, xfer int64, stats *Stats) *transferCache {
+	return &transferCache{
+		mach:    m,
+		name:    name,
+		classes: make(map[uint32]*depotClass),
+		spanCap: spanCap,
+		xfer:    xfer,
+		stats:   stats,
+	}
+}
+
+// classOf returns (creating if needed) the depot class for chunk size csz.
+// Creation is Go-side bookkeeping; the simulated cost is the lock traffic.
+func (d *transferCache) classOf(csz uint32) *depotClass {
+	dc := d.classes[csz]
+	if dc == nil {
+		dc = &depotClass{lock: d.mach.NewMutex(fmt.Sprintf("%s.depot.%d", d.name, csz))}
+		d.classes[csz] = dc
+	}
+	return dc
+}
+
+// get pops one span for chunk size csz under the class lock. The returned
+// span is owned by the caller.
+func (d *transferCache) get(t *sim.Thread, csz uint32) ([]tcEntry, bool) {
+	dc := d.classOf(csz)
+	t.Lock(dc.lock)
+	t.Charge(sim.Time(d.xfer))
+	n := len(dc.spans)
+	if n == 0 {
+		t.Unlock(dc.lock)
+		d.stats.DepotMisses++
+		return nil, false
+	}
+	span := dc.spans[n-1]
+	dc.spans = dc.spans[:n-1]
+	t.Unlock(dc.lock)
+	d.stats.DepotHits++
+	return span, true
+}
+
+// put donates a span to class csz. The depot keeps the slice, so callers
+// must hand over ownership. Returns false — without keeping the span — when
+// the class is at capacity.
+func (d *transferCache) put(t *sim.Thread, csz uint32, span []tcEntry) bool {
+	if len(span) == 0 {
+		return true
+	}
+	dc := d.classOf(csz)
+	t.Lock(dc.lock)
+	t.Charge(sim.Time(d.xfer))
+	if len(dc.spans) >= d.spanCap {
+		t.Unlock(dc.lock)
+		d.stats.DepotOverflows++
+		return false
+	}
+	dc.spans = append(dc.spans, span)
+	t.Unlock(dc.lock)
+	d.stats.DepotDonates++
+	return true
+}
+
+// chunkCount returns the number of chunks parked right now.
+func (d *transferCache) chunkCount() int {
+	n := 0
+	for _, dc := range d.classes {
+		for _, span := range dc.spans {
+			n += len(span)
+		}
+	}
+	return n
+}
+
+// check verifies depot invariants against the caller's duplicate set: every
+// parked chunk lies inside the arena recorded for it and appears in at most
+// one cache slot anywhere (magazines included).
+func (d *transferCache) check(seen map[uint64]bool) error {
+	sizes := make([]int, 0, len(d.classes))
+	for csz := range d.classes {
+		sizes = append(sizes, int(csz))
+	}
+	sort.Ints(sizes)
+	for _, csz := range sizes {
+		for _, span := range d.classes[uint32(csz)].spans {
+			for _, e := range span {
+				if seen[e.mem] {
+					return fmt.Errorf("malloc: chunk 0x%x cached twice (depot class %d)", e.mem, csz)
+				}
+				seen[e.mem] = true
+				if !e.arena.Contains(e.mem - heap.HeaderSz) {
+					return fmt.Errorf("malloc: depot class %d holds 0x%x outside arena %d", csz, e.mem, e.arena.Index)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package malloc
+
+import (
+	"testing"
+
+	"mtmalloc/internal/heap"
+	"mtmalloc/internal/sim"
+)
+
+// TestDepotHitMissDonateAccounting pins the depot arithmetic with fixed
+// marks: a flush donates whole spans, a later miss consumes one span under
+// the class lock with no arena traffic, and the counters tell the story.
+func TestDepotHitMissDonateAccounting(t *testing.T) {
+	m, as := newWorld(2, 67)
+	err := m.Run(func(main *sim.Thread) {
+		costs := DefaultCostParams()
+		costs.CacheBatch = 4
+		costs.CacheHigh = 8
+		costs.CacheAdaptive = -1 // fixed marks: flush points are deterministic
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		// 12 allocations = 3 arena refills; freeing all 12 crosses the mark
+		// at the 9th free (9 > 8): the 5-chunk surplus is rounded down to one
+		// whole span of 4, keeping the sub-batch remainder parked.
+		var ps []uint64
+		for i := 0; i < 12; i++ {
+			p, err := al.Malloc(main, 64)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			if err := al.Free(main, p); err != nil {
+				t.Errorf("Free: %v", err)
+				return
+			}
+		}
+		st := al.Stats()
+		if st.DepotDonates != 1 {
+			t.Errorf("depot donates=%d, want 1 (one whole span of 4)", st.DepotDonates)
+		}
+		if st.DepotChunks != 4 {
+			t.Errorf("depot chunks=%d, want 4", st.DepotChunks)
+		}
+		if st.CachedChunks != 8 {
+			t.Errorf("cached chunks=%d, want 8 (5 kept + 3 later frees)", st.CachedChunks)
+		}
+		arenaFrees := al.Arenas()[0].Stats().Frees
+		if arenaFrees != 0 {
+			t.Errorf("arena frees=%d, want 0", arenaFrees)
+		}
+
+		// Drain the magazine (8 hits), then the next miss consumes the depot
+		// span before any arena refill.
+		arenaMallocs := al.Arenas()[0].Stats().Mallocs
+		for i := 0; i < 12; i++ {
+			if _, err := al.Malloc(main, 64); err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+		}
+		st = al.Stats()
+		if st.DepotHits != 1 {
+			t.Errorf("depot hits=%d, want 1", st.DepotHits)
+		}
+		if st.DepotChunks != 0 {
+			t.Errorf("depot chunks=%d, want 0 after both spans consumed", st.DepotChunks)
+		}
+		if got := al.Arenas()[0].Stats().Mallocs; got != arenaMallocs {
+			t.Errorf("arena mallocs=%d, want still %d (depot served the misses)", got, arenaMallocs)
+		}
+		if st.DepotMisses == 0 {
+			t.Error("expected at least one depot miss from the initial refills")
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDepotOverflowFallsBackToArena: a full depot class refuses spans, which
+// are then freed into the arenas (the bounded-leak guarantee).
+func TestDepotOverflowFallsBackToArena(t *testing.T) {
+	m, as := newWorld(2, 71)
+	err := m.Run(func(main *sim.Thread) {
+		costs := DefaultCostParams()
+		costs.CacheBatch = 4
+		costs.CacheHigh = 8
+		costs.DepotCap = 1 // one span per class
+		costs.CacheAdaptive = -1
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		var ps []uint64
+		for i := 0; i < 40; i++ {
+			p, err := al.Malloc(main, 64)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			if err := al.Free(main, p); err != nil {
+				t.Errorf("Free: %v", err)
+				return
+			}
+		}
+		st := al.Stats()
+		if st.DepotOverflows == 0 {
+			t.Error("no depot overflows with a one-span cap over 40 frees")
+		}
+		if st.DepotChunks > 4 {
+			t.Errorf("depot chunks=%d exceed the one-span cap of 4", st.DepotChunks)
+		}
+		if got := al.Arenas()[0].Stats().Frees; got == 0 {
+			t.Error("no frees reached the arena despite depot overflow")
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushSortsCrossArenaVictims builds an interleaved two-arena victim
+// batch and asserts flush takes each arena's lock exactly once.
+func TestFlushSortsCrossArenaVictims(t *testing.T) {
+	m, as := newWorld(2, 73)
+	err := m.Run(func(main *sim.Thread) {
+		costs := DefaultCostParams()
+		tc, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		a0 := tc.arenas[0]
+		a1, err := tc.growPool(main)
+		if err != nil {
+			t.Errorf("growPool: %v", err)
+			return
+		}
+		alloc := func(a *heap.Arena) tcEntry {
+			main.Lock(a.Lock)
+			p, err := a.Malloc(main, 64)
+			main.Unlock(a.Lock)
+			if err != nil {
+				t.Fatalf("arena malloc: %v", err)
+			}
+			return tcEntry{p, a}
+		}
+		victims := []tcEntry{alloc(a0), alloc(a1), alloc(a0), alloc(a1), alloc(a0), alloc(a1)}
+		acq0, acq1 := a0.Lock.Acquisitions, a1.Lock.Acquisitions
+		if err := tc.flush(main, victims); err != nil {
+			t.Errorf("flush: %v", err)
+			return
+		}
+		if d := a0.Lock.Acquisitions - acq0; d != 1 {
+			t.Errorf("arena 0 locked %d times for interleaved victims, want 1", d)
+		}
+		if d := a1.Lock.Acquisitions - acq1; d != 1 {
+			t.Errorf("arena 1 locked %d times for interleaved victims, want 1", d)
+		}
+		if err := tc.Check(); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDepotCrossThreadHandoff: a producer thread's donated spans serve a
+// consumer thread's misses without the consumer touching the producer's
+// arena lock path (benchmark 2's killer pattern).
+func TestDepotCrossThreadHandoff(t *testing.T) {
+	m, as := newWorld(2, 79)
+	err := m.Run(func(main *sim.Thread) {
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), DefaultCostParams())
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		var ps []uint64
+		producer := main.Spawn("producer", func(w *sim.Thread) {
+			al.AttachThread(w)
+			defer al.DetachThread(w) // donates the magazine to the depot
+			for i := 0; i < 32; i++ {
+				p, err := al.Malloc(w, 64)
+				if err != nil {
+					t.Errorf("producer Malloc: %v", err)
+					return
+				}
+				ps = append(ps, p)
+			}
+			for _, p := range ps {
+				if err := al.Free(w, p); err != nil {
+					t.Errorf("producer Free: %v", err)
+					return
+				}
+			}
+		})
+		main.Join(producer)
+		st := al.Stats()
+		if st.DepotChunks == 0 {
+			t.Fatal("producer detach parked nothing in the depot")
+		}
+		before := st.ArenaLockAcqs
+		consumer := main.Spawn("consumer", func(w *sim.Thread) {
+			al.AttachThread(w)
+			defer al.DetachThread(w)
+			for i := 0; i < 8; i++ {
+				if _, err := al.Malloc(w, 64); err != nil {
+					t.Errorf("consumer Malloc: %v", err)
+					return
+				}
+			}
+		})
+		main.Join(consumer)
+		st = al.Stats()
+		if st.DepotHits == 0 {
+			t.Error("consumer misses never hit the depot")
+		}
+		if st.ArenaLockAcqs != before {
+			t.Errorf("consumer took %d arena lock acquisitions, want 0 (depot-served)", st.ArenaLockAcqs-before)
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDepotSpansSurviveCheckAcrossClasses exercises several size classes
+// through the depot and keeps the structural checker honest about them.
+func TestDepotSpansSurviveCheckAcrossClasses(t *testing.T) {
+	m, as := newWorld(2, 83)
+	err := m.Run(func(main *sim.Thread) {
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), DefaultCostParams())
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		for round := 0; round < 3; round++ {
+			var ps []uint64
+			for _, sz := range []uint32{24, 64, 200, 1024} {
+				for i := 0; i < 30; i++ {
+					p, err := al.Malloc(main, sz)
+					if err != nil {
+						t.Errorf("Malloc(%d): %v", sz, err)
+						return
+					}
+					ps = append(ps, p)
+				}
+			}
+			for _, p := range ps {
+				if err := al.Free(main, p); err != nil {
+					t.Errorf("Free: %v", err)
+					return
+				}
+			}
+			if err := al.Check(); err != nil {
+				t.Errorf("round %d Check: %v", round, err)
+				return
+			}
+		}
+		st := al.Stats()
+		if st.Heap.Mallocs != st.Heap.Frees {
+			t.Errorf("user mallocs %d != frees %d", st.Heap.Mallocs, st.Heap.Frees)
+		}
+		if st.DepotDonates == 0 {
+			t.Error("no depot donations across 3 rounds of 4 classes")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -95,6 +95,12 @@ type Stats struct {
 	MappedBytes  uint64 // current anonymous+brk extent
 	PeakMapped   uint64
 	PagesPresent uint64
+	// Mmap-region reuse cache counters (zero while the cache is disabled).
+	MmapReuses      uint64 // regions re-handed out without a syscall
+	MmapReuseBytes  uint64 // cumulative bytes served from the cache
+	MmapReuseParks  uint64 // regions parked instead of munmapped
+	MmapReuseEvicts uint64 // parked regions munmapped to honour the cap
+	MmapReuseParked uint64 // bytes parked right now (still counted as RSS)
 }
 
 // Fault is panicked (and surfaced as a machine error) on an access outside
@@ -135,7 +141,23 @@ type AddressSpace struct {
 	mmapHint  uint64
 	stackHint uint64
 
+	// Mmap-region reuse cache: munmapped above-threshold regions park on a
+	// bounded size-bucketed free list (with their pages and cache lines
+	// intact) and are re-handed out without a syscall or fresh first-touch
+	// faults. Disabled until SetMmapReuse is called with a non-zero cap.
+	reuseCap     uint64 // max parked bytes; 0 disables the cache
+	reuseWork    int64  // cycles charged per park/lookup
+	reuseParked  uint64
+	reuseSeq     uint64
+	reuseBuckets map[uint64][]reuseRegion // keyed by page-rounded length
+
 	stats Stats
+}
+
+// reuseRegion is one parked anonymous mapping awaiting reuse.
+type reuseRegion struct {
+	addr, length uint64
+	seq          uint64 // park order, for FIFO eviction under the cap
 }
 
 // Option configures an AddressSpace.
@@ -156,14 +178,15 @@ func WithCosts(c Costs) Option {
 // charging cache traffic to model.
 func New(id uint32, m *sim.Machine, model *cache.Model, opts ...Option) *AddressSpace {
 	as := &AddressSpace{
-		ID:        id,
-		mach:      m,
-		cache:     model,
-		costs:     DefaultCosts(),
-		brk:       DataBase,
-		pages:     make(map[uint64][]byte, 256),
-		mmapHint:  MmapBase,
-		stackHint: StackTop,
+		ID:           id,
+		mach:         m,
+		cache:        model,
+		costs:        DefaultCosts(),
+		brk:          DataBase,
+		pages:        make(map[uint64][]byte, 256),
+		mmapHint:     MmapBase,
+		stackHint:    StackTop,
+		reuseBuckets: make(map[uint64][]reuseRegion),
 	}
 	as.vmas = []VMA{
 		{Start: TextBase, End: TextBase + 0x60000, Kind: KindText, Name: "text"},
@@ -193,7 +216,17 @@ func (as *AddressSpace) Brk() uint64 { return as.brk }
 func (as *AddressSpace) Stats() Stats {
 	s := as.stats
 	s.PagesPresent = uint64(len(as.pages))
+	s.MmapReuseParked = as.reuseParked
 	return s
+}
+
+// SetMmapReuse enables the mmap-region reuse cache with the given byte cap
+// (0 disables it) and per-operation cycle charge. Parked regions keep their
+// pages resident, so the cap is the honest bound on the extra RSS the cache
+// may hold.
+func (as *AddressSpace) SetMmapReuse(capBytes uint64, work int64) {
+	as.reuseCap = capBytes
+	as.reuseWork = work
 }
 
 // VMAs returns a copy of the current mapping list.
@@ -383,6 +416,86 @@ func (as *AddressSpace) Munmap(t *sim.Thread, addr, length uint64) error {
 	as.dropPages(addr, end)
 	as.accountMapped(-int64(removed))
 	return nil
+}
+
+// MmapFromReuse tries to serve an anonymous mapping of length bytes from the
+// reuse cache. On a hit the region is returned with its pages still present,
+// so no syscall happens and later accesses do not re-fault; its stale
+// contents are NOT zeroed (callers that need calloc semantics must clear).
+// Buckets match on the exact page-rounded length, keeping the accounting
+// honest: a hit reuses precisely what a park put in.
+func (as *AddressSpace) MmapFromReuse(t *sim.Thread, length uint64) (uint64, bool) {
+	if as.reuseCap == 0 || length == 0 {
+		return 0, false
+	}
+	t.Charge(sim.Time(as.reuseWork))
+	length = pageCeil(length)
+	list := as.reuseBuckets[length]
+	if len(list) == 0 {
+		return 0, false
+	}
+	// LIFO within the bucket: the most recently parked region has the
+	// warmest pages and cache lines.
+	r := list[len(list)-1]
+	as.reuseBuckets[length] = list[:len(list)-1]
+	if len(as.reuseBuckets[length]) == 0 {
+		delete(as.reuseBuckets, length)
+	}
+	as.reuseParked -= r.length
+	as.stats.MmapReuses++
+	as.stats.MmapReuseBytes += r.length
+	return r.addr, true
+}
+
+// MunmapReuse parks [addr, addr+length) on the reuse cache instead of
+// unmapping it, evicting the oldest parked regions (real munmaps) when the
+// cap would be exceeded. Returns false — leaving the caller to munmap — when
+// the cache is disabled or the region alone exceeds the cap.
+func (as *AddressSpace) MunmapReuse(t *sim.Thread, addr, length uint64) bool {
+	if as.reuseCap == 0 || length == 0 {
+		return false
+	}
+	length = pageCeil(length)
+	if length > as.reuseCap {
+		return false
+	}
+	t.Charge(sim.Time(as.reuseWork))
+	for as.reuseParked+length > as.reuseCap && as.reuseParked > 0 {
+		as.evictOldestReuse(t)
+	}
+	as.reuseSeq++
+	as.reuseBuckets[length] = append(as.reuseBuckets[length], reuseRegion{addr: addr, length: length, seq: as.reuseSeq})
+	as.reuseParked += length
+	as.stats.MmapReuseParks++
+	return true
+}
+
+// evictOldestReuse munmaps the least recently parked region.
+func (as *AddressSpace) evictOldestReuse(t *sim.Thread) {
+	bestSeq := ^uint64(0)
+	var bestKey uint64
+	bestIdx := -1
+	for k, list := range as.reuseBuckets {
+		for i, r := range list {
+			if r.seq < bestSeq {
+				bestSeq, bestKey, bestIdx = r.seq, k, i
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return
+	}
+	list := as.reuseBuckets[bestKey]
+	r := list[bestIdx]
+	as.reuseBuckets[bestKey] = append(list[:bestIdx], list[bestIdx+1:]...)
+	if len(as.reuseBuckets[bestKey]) == 0 {
+		delete(as.reuseBuckets, bestKey)
+	}
+	as.reuseParked -= r.length
+	as.stats.MmapReuseEvicts++
+	if err := as.Munmap(t, r.addr, r.length); err != nil {
+		panic(fmt.Sprintf("vm: evicting parked reuse region: %v", err))
+	}
 }
 
 // dropPages discards backing pages and cache lines for [lo, hi).

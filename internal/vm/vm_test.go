@@ -416,3 +416,121 @@ func TestPageContentStability(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMmapReuseRoundTrip: a parked region is re-handed out without a
+// syscall, with its pages still present so nothing re-faults.
+func TestMmapReuseRoundTrip(t *testing.T) {
+	runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		as.SetMmapReuse(1<<20, 10)
+		if _, ok := as.MmapFromReuse(th, 8*PageSize); ok {
+			t.Fatal("empty reuse cache produced a region")
+		}
+		base, err := as.Mmap(th, 8*PageSize, "blob")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := uint64(0); p < 8; p++ {
+			as.Write8(th, base+p*PageSize, byte(p+1))
+		}
+		st := as.Stats()
+		faults, munmaps, mmaps := st.MinorFaults, st.MunmapCalls, st.MmapCalls
+
+		if !as.MunmapReuse(th, base, 8*PageSize) {
+			t.Fatal("MunmapReuse refused a region under the cap")
+		}
+		got, ok := as.MmapFromReuse(th, 8*PageSize)
+		if !ok || got != base {
+			t.Fatalf("MmapFromReuse = (0x%x, %v), want (0x%x, true)", got, ok, base)
+		}
+		// Re-touch every page: contents survive and nothing faults.
+		for p := uint64(0); p < 8; p++ {
+			if b := as.Read8(th, base+p*PageSize); b != byte(p+1) {
+				t.Fatalf("page %d content = %d, want %d", p, b, p+1)
+			}
+		}
+		st = as.Stats()
+		if st.MinorFaults != faults {
+			t.Errorf("reused region re-faulted: %d -> %d", faults, st.MinorFaults)
+		}
+		if st.MunmapCalls != munmaps || st.MmapCalls != mmaps {
+			t.Errorf("reuse round trip made syscalls: munmap %d->%d, mmap %d->%d",
+				munmaps, st.MunmapCalls, mmaps, st.MmapCalls)
+		}
+		if st.MmapReuses != 1 || st.MmapReuseParks != 1 || st.MmapReuseBytes != 8*PageSize {
+			t.Errorf("reuse stats = %d/%d/%d, want 1/1/%d",
+				st.MmapReuses, st.MmapReuseParks, st.MmapReuseBytes, 8*PageSize)
+		}
+		if st.MmapReuseParked != 0 {
+			t.Errorf("parked bytes = %d after take, want 0", st.MmapReuseParked)
+		}
+	})
+}
+
+// TestMmapReuseCapEviction: parking beyond the cap munmaps the oldest
+// region for real (FIFO), keeping parked RSS bounded.
+func TestMmapReuseCapEviction(t *testing.T) {
+	runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		as.SetMmapReuse(2*PageSize, 10)
+		var bases []uint64
+		for i := 0; i < 3; i++ {
+			b, err := as.Mmap(th, PageSize, "r")
+			if err != nil {
+				t.Fatal(err)
+			}
+			as.Write8(th, b, byte(i+1))
+			bases = append(bases, b)
+		}
+		munmaps := as.Stats().MunmapCalls
+		for _, b := range bases {
+			if !as.MunmapReuse(th, b, PageSize) {
+				t.Fatal("park refused")
+			}
+		}
+		st := as.Stats()
+		if st.MmapReuseEvicts != 1 {
+			t.Errorf("evictions = %d, want 1 (first region out)", st.MmapReuseEvicts)
+		}
+		if st.MunmapCalls != munmaps+1 {
+			t.Errorf("munmap calls %d -> %d, want one real eviction munmap", munmaps, st.MunmapCalls)
+		}
+		if st.MmapReuseParked != 2*PageSize {
+			t.Errorf("parked bytes = %d, want %d", st.MmapReuseParked, 2*PageSize)
+		}
+		// The survivors come back LIFO: bases[2] then bases[1]; the evicted
+		// bases[0] is gone and a further take misses.
+		if got, ok := as.MmapFromReuse(th, PageSize); !ok || got != bases[2] {
+			t.Fatalf("first take = (0x%x, %v), want (0x%x, true)", got, ok, bases[2])
+		}
+		if got, ok := as.MmapFromReuse(th, PageSize); !ok || got != bases[1] {
+			t.Fatalf("second take = (0x%x, %v), want (0x%x, true)", got, ok, bases[1])
+		}
+		if _, ok := as.MmapFromReuse(th, PageSize); ok {
+			t.Fatal("third take hit after the only other region was evicted")
+		}
+		// The evicted region's pages are really gone.
+		if as.Peek8(bases[0]) != 0 {
+			t.Error("evicted region still has pages")
+		}
+	})
+}
+
+// TestMmapReuseOversizeRefused: a region larger than the whole cap is never
+// parked; the caller munmaps as before.
+func TestMmapReuseOversizeRefused(t *testing.T) {
+	runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		as.SetMmapReuse(PageSize, 10)
+		b, err := as.Mmap(th, 4*PageSize, "big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if as.MunmapReuse(th, b, 4*PageSize) {
+			t.Fatal("parked a region larger than the cap")
+		}
+		if err := as.Munmap(th, b, 4*PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if st := as.Stats(); st.MmapReuseParks != 0 || st.MmapReuseParked != 0 {
+			t.Errorf("stats moved for a refused park: %+v", st)
+		}
+	})
+}
