@@ -25,6 +25,7 @@ func main() {
 	seeds := flag.Int("seeds", 5, "number of seeds to torture")
 	maxSize := flag.Int("maxsize", 4000, "maximum request size")
 	checkEvery := flag.Int("check-every", 1000, "structural check period (ops)")
+	scavenge := flag.Int64("scavenge", 0, "scavenger epoch interval in cycles (0 off): tortures reclamation against the churn")
 	flag.Parse()
 
 	prof, err := bench.ProfileByName(*profileName)
@@ -32,7 +33,7 @@ func main() {
 		fatal(err)
 	}
 	for seed := 1; seed <= *seeds; seed++ {
-		if err := torture(prof, malloc.Kind(*allocator), *threads, *ops, *maxSize, *checkEvery, uint64(seed)); err != nil {
+		if err := torture(prof, malloc.Kind(*allocator), *threads, *ops, *maxSize, *checkEvery, *scavenge, uint64(seed)); err != nil {
 			fatal(fmt.Errorf("seed %d: %w", seed, err))
 		}
 		fmt.Printf("seed %d: ok\n", seed)
@@ -40,8 +41,16 @@ func main() {
 	fmt.Println("heapcheck: all invariants held")
 }
 
-func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkEvery int, seed uint64) error {
-	w := bench.NewWorld(prof, seed, bench.WithAllocator(kind))
+func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkEvery int, scavenge int64, seed uint64) error {
+	opts := []bench.WorldOption{bench.WithAllocator(kind)}
+	if scavenge > 0 {
+		// Designs without a scavenger simply ignore the knob, so one flag
+		// tortures all four kinds uniformly.
+		costs := prof.AllocCosts
+		costs.ScavengeInterval = scavenge
+		opts = append(opts, bench.WithAllocCosts(costs))
+	}
+	w := bench.NewWorld(prof, seed, opts...)
 	var checkErr error
 	err := w.Run(func(main *sim.Thread) {
 		inst, err := w.AddInstance(main)

@@ -9,6 +9,7 @@
 //	mallocbench -bench 3 -profile quad-xeon-500 -threads 4 -size 24 -aligned
 //	mallocbench -bench larson -threads 4 -allocator perthread
 //	mallocbench -bench d2 -scale 0.01 -json BENCH_D2.json
+//	mallocbench -bench d3 -scale 1 -json BENCH_D3.json
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson or d2 (mid-tier ablation experiment)")
+	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson, d2 (mid-tier ablation) or d3 (footprint phase-shift)")
 	profileName := flag.String("profile", "quad-xeon-500", "machine profile")
 	threads := flag.Int("threads", 2, "worker threads")
 	processes := flag.Bool("processes", false, "benchmark 1: one process per worker")
@@ -110,8 +111,14 @@ func main() {
 			fatal(err)
 		}
 		tab = res
+	case "d3":
+		res, err := bench.ExpFootprint(bench.Options{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		tab = res
 	default:
-		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson or d2)", *which))
+		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson, d2 or d3)", *which))
 	}
 
 	if *jsonPath != "" {

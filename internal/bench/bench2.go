@@ -26,8 +26,12 @@ type B2Config struct {
 	// so the mid-tier ablation (D2) uses them; 0 or 1 keeps the paper's
 	// exact pattern.
 	BatchReplace int
-	Runs         int
-	Seed         uint64
+	// RoundIdleSeconds inserts simulated idleness between a round's replace
+	// work and spawning its successor, turning the chain into a bursty
+	// phase schedule (0 keeps the paper's back-to-back rounds).
+	RoundIdleSeconds float64
+	Runs             int
+	Seed             uint64
 	// Allocator overrides the profile default when non-empty.
 	Allocator malloc.Kind
 	// Costs overrides the profile's allocator cost params when non-nil
@@ -161,6 +165,9 @@ func runBench2Once(cfg B2Config, seed uint64) (B2Run, error) {
 				}
 				replaceBatch()
 				al.DetachThread(t)
+				if cfg.RoundIdleSeconds > 0 {
+					t.Sleep(w.M.Cycles(cfg.RoundIdleSeconds))
+				}
 				if r+1 < cfg.Rounds {
 					succ := t.Spawn(fmt.Sprintf("chain%d-r%d", chain, r+1), round(chain, r+1))
 					t.Join(succ)

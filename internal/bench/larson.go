@@ -22,8 +22,13 @@ type LarsonConfig struct {
 	MinSize uint32 // inclusive
 	MaxSize uint32 // inclusive
 	Ops     int    // replace operations per thread
-	Runs    int
-	Seed    uint64
+	// Phases, when non-empty, replaces the flat Ops loop with a burst/idle
+	// schedule: each phase runs its Ops replaces and then sleeps its
+	// IdleSeconds before the next burst (bursty server scenarios; D3's
+	// footprint experiment uses the same schedule shape).
+	Phases []Phase
+	Runs   int
+	Seed   uint64
 	// Allocator overrides the profile default when non-empty.
 	Allocator malloc.Kind
 	// Costs overrides the profile's allocator cost params when non-nil
@@ -57,6 +62,9 @@ type LarsonResult struct {
 
 // RunLarson executes the configured runs.
 func RunLarson(cfg LarsonConfig) (LarsonResult, error) {
+	if len(cfg.Phases) > 0 {
+		cfg.Ops = totalOps(cfg.Phases)
+	}
 	if cfg.Threads < 1 || cfg.Slots < 1 || cfg.Ops < 1 || cfg.MinSize > cfg.MaxSize {
 		return LarsonResult{}, fmt.Errorf("larson: bad config %+v", cfg)
 	}
@@ -115,17 +123,29 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 					}
 					as.Write32(t, arr+uint64(4*s), uint32(p))
 				}
-				for op := 0; op < cfg.Ops; op++ {
-					s := rng.Intn(cfg.Slots)
-					old := uint64(as.Read32(t, arr+uint64(4*s)))
-					if err := al.Free(t, old); err != nil {
-						panic(fmt.Sprintf("larson: free: %v", err))
+				replace := func(n int) {
+					for op := 0; op < n; op++ {
+						s := rng.Intn(cfg.Slots)
+						old := uint64(as.Read32(t, arr+uint64(4*s)))
+						if err := al.Free(t, old); err != nil {
+							panic(fmt.Sprintf("larson: free: %v", err))
+						}
+						p, err := al.Malloc(t, randSize())
+						if err != nil {
+							panic(fmt.Sprintf("larson: alloc: %v", err))
+						}
+						as.Write32(t, arr+uint64(4*s), uint32(p))
 					}
-					p, err := al.Malloc(t, randSize())
-					if err != nil {
-						panic(fmt.Sprintf("larson: alloc: %v", err))
+				}
+				if len(cfg.Phases) == 0 {
+					replace(cfg.Ops)
+					return
+				}
+				for _, ph := range cfg.Phases {
+					replace(ph.Ops)
+					if ph.IdleSeconds > 0 {
+						t.Sleep(w.M.Cycles(ph.IdleSeconds))
 					}
-					as.Write32(t, arr+uint64(4*s), uint32(p))
 				}
 			})
 		}

@@ -18,23 +18,25 @@ type segment struct {
 
 // Stats counts arena activity.
 type Stats struct {
-	Mallocs      uint64
-	Frees        uint64
-	BinHits      uint64 // served from an exact small bin
-	BinScans     uint64 // served from a larger bin (with split)
-	TopAllocs    uint64 // carved from the top chunk
-	Splits       uint64
-	Coalesces    uint64
-	BinInserts   uint64
-	BinRemoves   uint64
-	Extends      uint64
-	Trims        uint64
-	MmapChunks   uint64
-	MunmapChunks uint64
-	GrowsInPlace uint64 // realloc satisfied by absorbing a neighbour
-	BytesCopied  uint64 // payload bytes moved by CopyPayload (realloc moves)
-	BytesInUse   uint64
-	PeakInUse    uint64
+	Mallocs       uint64
+	Frees         uint64
+	BinHits       uint64 // served from an exact small bin
+	BinScans      uint64 // served from a larger bin (with split)
+	TopAllocs     uint64 // carved from the top chunk
+	Splits        uint64
+	Coalesces     uint64
+	BinInserts    uint64
+	BinRemoves    uint64
+	Extends       uint64
+	Trims         uint64
+	MmapChunks    uint64
+	MunmapChunks  uint64
+	GrowsInPlace  uint64 // realloc satisfied by absorbing a neighbour
+	BytesCopied   uint64 // payload bytes moved by CopyPayload (realloc moves)
+	TopReleases   uint64 // TrimTop calls that released at least one page
+	BytesReleased uint64 // bytes handed back to the kernel by TrimTop
+	BytesInUse    uint64
+	PeakInUse     uint64
 }
 
 // Arena is one heap: a header (bins, binmap, top pointer) plus one or more
@@ -453,6 +455,32 @@ func (a *Arena) maybeTrim(t *sim.Thread) {
 	a.stats.Trims++
 	a.installTop(t, topC, topSz-uint32(extra), a.prevInuse(t, topC))
 	a.segments[len(a.segments)-1].end = a.as.Brk()
+}
+
+// TrimTop is the scavenger's malloc_trim: it releases the resident tail of
+// the top chunk past pad bytes back to the kernel with ReleasePages, so it
+// works on every arena — including the mmap-segment sub-arenas that the
+// free-time sbrk trim (maybeTrim) can never shrink. The top chunk stays
+// mapped and keeps its header; only whole pages strictly inside its free
+// interior are dropped, and the next allocation carved from them pays the
+// refault cost. Returns the number of bytes released. The caller must hold
+// a.Lock.
+func (a *Arena) TrimTop(t *sim.Thread, pad uint32) uint64 {
+	topC := a.top(t)
+	topSz := a.chunkSize(t, topC)
+	// Keep the header plus pad bytes resident; release whole pages between
+	// there and the top chunk's end.
+	lo := pageCeilU(topC + HeaderSz + uint64(pad))
+	hi := (topC + uint64(topSz)) &^ (vm.PageSize - 1)
+	if hi <= lo {
+		return 0
+	}
+	n := a.as.ReleasePages(t, lo, hi-lo)
+	if n > 0 {
+		a.stats.TopReleases++
+		a.stats.BytesReleased += n
+	}
+	return n
 }
 
 // MmapChunk serves one request with a dedicated anonymous mapping (requests

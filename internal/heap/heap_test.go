@@ -601,3 +601,92 @@ func TestStatsAccounting(t *testing.T) {
 		}
 	})
 }
+
+// TestTrimTopReleasesSubArenaTail: the scavenger's trim must shed the free
+// tail of a sub-arena's top chunk — memory the sbrk-based free-time trim can
+// never touch — while the heap stays structurally intact and usable.
+func TestTrimTopReleasesSubArenaTail(t *testing.T) {
+	m := sim.NewMachine(sim.Config{CPUs: 1, ClockMHz: 100, Seed: 1})
+	c := cache.NewModel(1, 5, cache.DefaultCosts())
+	as := vm.New(1, m, c)
+	params := DefaultParams()
+	err := m.Run(func(th *sim.Thread) {
+		a, err := NewSub(th, as, &params, 1)
+		if err != nil {
+			t.Errorf("NewSub: %v", err)
+			return
+		}
+		// Dirty a stretch of the heap, then free it back into the top chunk.
+		// 40 x 2.5KB stays inside the sub-arena's initial segment, so every
+		// free coalesces back into the one top chunk.
+		var ps []uint64
+		for i := 0; i < 40; i++ {
+			p, err := a.Malloc(th, 2500)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			as.Write8(th, p, 0xCC)
+			as.Write8(th, p+2499, 0xCC)
+			ps = append(ps, p)
+		}
+		for i := len(ps) - 1; i >= 0; i-- {
+			if err := a.Free(th, ps[i]); err != nil {
+				t.Errorf("Free: %v", err)
+				return
+			}
+		}
+		resident := as.Stats().PagesPresent
+		n := a.TrimTop(th, 8*1024)
+		if n == 0 {
+			t.Fatal("TrimTop released nothing over a ~100KB free top")
+		}
+		st := as.Stats()
+		if st.PagesPresent >= resident {
+			t.Errorf("residency did not drop: %d -> %d pages", resident, st.PagesPresent)
+		}
+		hs := a.Stats()
+		if hs.TopReleases != 1 || hs.BytesReleased != n {
+			t.Errorf("trim stats = %d releases / %d bytes, want 1 / %d", hs.TopReleases, hs.BytesReleased, n)
+		}
+		if err := a.Check(); err != nil {
+			t.Errorf("Check after trim: %v", err)
+		}
+		// A second trim with nothing new to shed is a no-op.
+		if again := a.TrimTop(th, 8*1024); again != 0 {
+			t.Errorf("second TrimTop released %d bytes, want 0", again)
+		}
+		// The arena still serves allocations from the released range.
+		q, err := a.Malloc(th, 64*1024)
+		if err != nil {
+			t.Errorf("Malloc after trim: %v", err)
+			return
+		}
+		// Touch past the kept pad so the write lands on released pages.
+		as.Write8(th, q+32*1024, 0xAB)
+		if as.Read8(th, q+32*1024) != 0xAB {
+			t.Error("allocation from released pages unusable")
+		}
+		if as.Stats().Refaults == 0 {
+			t.Error("touching the released range counted no refaults")
+		}
+		if err := a.Check(); err != nil {
+			t.Errorf("final Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrimTopRespectsPad: everything inside the pad stays resident.
+func TestTrimTopRespectsPad(t *testing.T) {
+	withArena(t, DefaultParams(), func(th *sim.Thread, a *Arena) {
+		if n := a.TrimTop(th, ^uint32(0)>>1); n != 0 {
+			t.Errorf("TrimTop with a huge pad released %d bytes, want 0", n)
+		}
+		if err := a.Check(); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+	})
+}

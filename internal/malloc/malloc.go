@@ -38,8 +38,33 @@
 // fresh first-touch faults. ThreadCache enables it by default
 // (DefaultMmapReuseCap); the paper's designs leave it off so their measured
 // syscall and fault counts stay faithful. Stats reports all tiers:
-// Depot{Hits,Misses,Donates,Overflows,Chunks}, CacheMark{Grows,Shrinks},
-// ArenaLockAcqs, and MmapReuses/MmapReuseBytes.
+// Depot{Hits,Misses,Donates,Overflows,Chunks,Bytes}, CachedBytes,
+// CacheMark{Grows,Shrinks}, ArenaLockAcqs, and MmapReuses/MmapReuseBytes.
+//
+// # The four-tier hierarchy and its reclamation paths
+//
+// Allocation flows down the hierarchy; reclamation (internal/scavenge,
+// enabled by ScavengeInterval > 0) flows the same way and then out of the
+// process:
+//
+//	magazine ──miss──> depot ──miss──> arena ──extend──> vm (sbrk/mmap)
+//	    │                │                │                  │
+//	    │ idle decay     │ cold spans     │ TrimTop          │ ReleasePages /
+//	    ▼                ▼                ▼                  ▼ munmap
+//	  arenas           arenas        page release          kernel
+//
+// Every epoch (ScavengeInterval cycles of virtual time, ticked inline by
+// allocator ops and kept alive during idle by a background thread), the
+// scavenger decays ScavengeDecay percent of whatever has been idle for at
+// least one epoch: magazines of threads that stopped allocating flush into
+// their arenas, depot classes nobody exchanged with return whole spans to
+// the arenas (tcmalloc's ReleaseToSpans), reuse-cache regions parked longer
+// than an epoch are munmapped for real, and finally each arena's free top
+// tail past ScavengeTrimPad is handed back madvise(DONTNEED)-style — the
+// region stays mapped and the next touch pays RefaultCost. Experiment D3
+// measures the result: burst footprint decays during idle phases while the
+// post-idle burst keeps its throughput. Stats carries the whole story in
+// the Scavenge* counters plus PagesReleased/Refaults.
 //
 // # Shared C library state model
 //
@@ -95,6 +120,12 @@ type CostParams struct {
 	// chunk into arenas).
 	DepotXfer int64 // cycles per depot span exchange, on top of the lock costs
 	DepotCap  int   // max spans parked per depot size class; < 0 disables
+	// DepotCapBytes bounds each depot class in bytes instead of spans. The
+	// span-count cap punishes adaptive marks: shrunken marks donate small
+	// spans that hit the count limit while parking almost nothing, so the
+	// byte cap is the default (DefaultDepotCapBytes per class). < 0 falls
+	// back to the DepotCap span count.
+	DepotCapBytes int64
 
 	// Adaptive magazine sizing (tcmalloc's slow start). CacheAdaptive >= 0
 	// grows each class's high-water mark on consecutive-hit streaks and
@@ -109,12 +140,40 @@ type CostParams struct {
 	// it explicitly.
 	MmapReuseCap  int64
 	MmapReuseWork int64 // cycles per reuse-cache park/lookup
+
+	// Scavenger (internal/scavenge): epoch-driven decay of idle parked
+	// memory across all tiers. ScavengeInterval is the epoch length in
+	// cycles; 0 or negative leaves the scavenger off (the default — the
+	// paper's designs and PR-2 behaviour are unchanged unless a profile or
+	// experiment opts in).
+	ScavengeInterval int64
+	// ScavengeDecay is the percentage of an idle tier's parked memory
+	// released per epoch (clamped to [1, 100]; 0 takes the default).
+	ScavengeDecay int
+	// ScavengeTrimPad is the number of bytes each arena keeps resident at
+	// its top when the scavenger trims (malloc_trim's pad; 0 takes the
+	// default, < 0 means no pad).
+	ScavengeTrimPad int64
+	ScavengeWork    int64 // fixed cycles charged per scavenge pass
+	// RefaultCost overrides the vm profile's cost of touching a page the
+	// scavenger released (0 keeps the profile value).
+	RefaultCost int64
 }
 
 // DefaultMmapReuseCap is the parked-bytes cap NewThreadCache applies when
 // MmapReuseCap is zero: a few above-threshold regions, bounded so the RSS
 // the cache holds back from the kernel stays honest.
 const DefaultMmapReuseCap = 4 << 20
+
+// DefaultDepotCapBytes is the per-class byte cap NewThreadCache applies when
+// DepotCapBytes is zero: roughly DepotCap spans of CacheBatch default-sized
+// chunks, but counted in bytes so small spans from shrunken adaptive marks
+// no longer overflow a count limit while parking almost nothing.
+const DefaultDepotCapBytes = 64 << 10
+
+// DefaultScavengeTrimPad is the per-arena resident pad NewThreadCache keeps
+// at each top chunk when ScavengeTrimPad is zero.
+const DefaultScavengeTrimPad = 64 << 10
 
 // DefaultCostParams returns mid-range constants; machine profiles override.
 func DefaultCostParams() CostParams {
@@ -132,11 +191,19 @@ func DefaultCostParams() CostParams {
 
 		DepotXfer:       45,
 		DepotCap:        8,
+		DepotCapBytes:   DefaultDepotCapBytes,
 		CacheGrowStreak: 64,
 		MmapReuseWork:   30,
 		// MmapReuseCap stays 0: only designs that opt in (NewThreadCache
 		// defaults it to DefaultMmapReuseCap) enable the reuse tier, so the
 		// paper's allocators keep their measured syscall and fault counts.
+
+		// ScavengeInterval stays 0: reclamation is opt-in, so every
+		// throughput experiment (D1/D2) measures exactly what it did before
+		// the subsystem existed. D3 and production profiles turn it on.
+		ScavengeDecay:   50,
+		ScavengeTrimPad: DefaultScavengeTrimPad,
+		ScavengeWork:    120,
 	}
 }
 
@@ -160,6 +227,8 @@ type Stats struct {
 	DepotDonates   uint64 // spans donated to the depot by flushes and detaches
 	DepotOverflows uint64 // spans refused by a full depot class (arena-freed)
 	DepotChunks    int    // chunks parked in the depot right now
+	DepotBytes     uint64 // bytes parked in the depot right now
+	CachedBytes    uint64 // bytes parked in thread magazines right now
 	// Adaptive magazine sizing counters.
 	CacheMarkGrows   uint64 // per-class marks grown on hit streaks
 	CacheMarkShrinks uint64 // per-class marks shrunk on flush pressure
@@ -167,10 +236,26 @@ type Stats struct {
 	// currency the transfer cache exists to save.
 	ArenaLockAcqs uint64
 	// Mmap-region reuse counters, mirrored from the address space.
-	MmapReuses     uint64 // above-threshold regions served without a syscall
-	MmapReuseBytes uint64 // cumulative bytes served from the reuse cache
-	ArenaCount     int
-	Heap           heap.Stats // summed over arenas
+	MmapReuses      uint64 // above-threshold regions served without a syscall
+	MmapReuseBytes  uint64 // cumulative bytes served from the reuse cache
+	MmapReuseParked uint64 // bytes parked in the reuse cache right now
+	// Scavenger counters (all zero while scavenging is off).
+	ScavengeEpochs uint64 // decay passes run
+	// ScavengeBytes sums what every tier shed. Tiers overlap: magazine and
+	// depot bytes are moved into the arenas (still resident), while reuse
+	// and trim bytes leave the process — ScavengeReuseBytes +
+	// ScavengeTrimBytes is the kernel-returned portion.
+	ScavengeBytes       uint64
+	ScavengeMagChunks   uint64 // idle magazine chunks flushed to arenas
+	ScavengeDepotSpans  uint64 // cold depot spans returned to arenas
+	ScavengeDepotChunks uint64 // chunks inside those spans
+	ScavengeReuseBytes  uint64 // parked mmap regions munmapped by age
+	ScavengeTrimBytes   uint64 // arena-top bytes released to the kernel
+	// Page-residency mirrors from the address space.
+	PagesReleased uint64 // pages handed back by the trim path (cumulative)
+	Refaults      uint64 // faults on pages the scavenger had released
+	ArenaCount    int
+	Heap          heap.Stats // summed over arenas
 }
 
 // Allocator is the public allocator interface: the system malloc/free pair
@@ -232,6 +317,9 @@ func newBase(t *sim.Thread, name string, as *vm.AddressSpace, params heap.Params
 	}
 	if costs.MmapReuseCap > 0 {
 		as.SetMmapReuse(uint64(costs.MmapReuseCap), costs.MmapReuseWork)
+	}
+	if costs.RefaultCost > 0 {
+		as.SetRefaultCost(costs.RefaultCost)
 	}
 	main, err := heap.NewMain(t, as, &b.params)
 	if err != nil {
@@ -317,6 +405,9 @@ func (b *base) sumStats() Stats {
 	vs := b.as.Stats()
 	s.MmapReuses = vs.MmapReuses
 	s.MmapReuseBytes = vs.MmapReuseBytes
+	s.MmapReuseParked = vs.MmapReuseParked
+	s.PagesReleased = vs.PagesReleased
+	s.Refaults = vs.Refaults
 	for _, a := range b.arenas {
 		s.ArenaLockAcqs += a.Lock.Acquisitions
 		as := a.Stats()

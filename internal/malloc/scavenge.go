@@ -1,0 +1,169 @@
+package malloc
+
+import (
+	"cmp"
+	"sort"
+
+	"mtmalloc/internal/scavenge"
+	"mtmalloc/internal/sim"
+)
+
+// sortedKeys returns m's keys in ascending order. Every walk over an
+// allocator-side map must go through this (or equivalent sorting): raw map
+// iteration order would leak Go runtime randomness into the simulation and
+// break run-for-run determinism.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	ks := make([]K, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// This file wires the thread-cache allocator into the reclamation subsystem
+// (internal/scavenge). Each caching tier registers as a scavenge.Source, and
+// the sweep order is the reclamation cascade:
+//
+//	magazines -> depot -> reuse cache -> arena-top trim
+//
+// Idle magazines and cold depot spans free their chunks into the owning
+// arenas (tcmalloc's ReleaseToSpans direction), the vm reuse cache unmaps
+// regions that have sat parked for a full epoch, and finally the trim source
+// hands each arena's free top tail back to the kernel — so memory shed by
+// the earlier sources in a pass can leave the process within that same pass
+// once it coalesces into the top chunk.
+//
+// All sources iterate their state in sorted order (thread IDs, size
+// classes), never raw map order: a scavenge pass must be a pure function of
+// the simulation state for runs to stay deterministic.
+
+// magazineSource decays the magazines of threads that have stopped
+// allocating: a thread cache idle since before the cutoff loses
+// decayPercent of each class's oldest entries, flushed straight into the
+// owning arenas (not the depot — the point is reclamation, not another
+// parking tier).
+type magazineSource struct{ tc *ThreadCache }
+
+func (s magazineSource) Name() string { return "magazines" }
+
+func (s magazineSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) uint64 {
+	tc := s.tc
+	released := uint64(0)
+	for _, tid := range sortedKeys(tc.caches) {
+		c := tc.caches[tid]
+		if c.lastOp >= cutoff {
+			continue // the owner is still allocating; leave its magazines hot
+		}
+		for _, csz := range sortedKeys(c.classes) {
+			cl := c.classes[csz]
+			if len(cl.entries) == 0 {
+				continue
+			}
+			n := len(cl.entries) * decayPercent / 100
+			if n < 1 {
+				n = 1
+			}
+			if err := tc.flush(t, cl.entries[:n]); err != nil {
+				panic("malloc: scavenging idle magazine: " + err.Error())
+			}
+			copy(cl.entries, cl.entries[n:])
+			cl.entries = cl.entries[:len(cl.entries)-n]
+			cl.streak = 0
+			tc.stats.ScavengeMagChunks += uint64(n)
+			released += uint64(n) * uint64(cl.csz)
+		}
+	}
+	return released
+}
+
+// depotSource returns cold depot spans to the owning arenas: any class that
+// has not exchanged a span since the cutoff sheds decayPercent of its spans
+// per epoch, freed chunk by chunk under the arena locks (one acquisition per
+// arena, via the same sorted flush the magazines use).
+type depotSource struct{ tc *ThreadCache }
+
+func (s depotSource) Name() string { return "depot" }
+
+func (s depotSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) uint64 {
+	tc := s.tc
+	spans, chunks, bytes := tc.depot.scavenge(t, cutoff, decayPercent)
+	if len(spans) == 0 {
+		return 0
+	}
+	victims := make([]tcEntry, 0, chunks)
+	for _, span := range spans {
+		victims = append(victims, span...)
+	}
+	if err := tc.flush(t, victims); err != nil {
+		panic("malloc: scavenging depot spans: " + err.Error())
+	}
+	tc.stats.ScavengeDepotSpans += uint64(len(spans))
+	tc.stats.ScavengeDepotChunks += uint64(chunks)
+	return bytes
+}
+
+// reuseSource expires parked mmap regions: anything the vm reuse cache has
+// held since before the cutoff is munmapped for real. Age, not decay
+// percentage, is the policy here — a parked region is all-or-nothing.
+type reuseSource struct{ tc *ThreadCache }
+
+func (s reuseSource) Name() string { return "mmap-reuse" }
+
+func (s reuseSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) uint64 {
+	_, bytes := s.tc.as.EvictReuseBefore(t, cutoff)
+	s.tc.stats.ScavengeReuseBytes += bytes
+	return bytes
+}
+
+// trimSource is the terminal stage: it walks every arena and releases the
+// resident tail of its top chunk past the configured pad, which is where the
+// chunks freed by the earlier sources end up once they coalesce.
+type trimSource struct{ tc *ThreadCache }
+
+func (s trimSource) Name() string { return "arena-trim" }
+
+func (s trimSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) uint64 {
+	tc := s.tc
+	released := uint64(0)
+	for _, a := range tc.arenas {
+		t.Lock(a.Lock)
+		released += a.TrimTop(t, tc.trimPad)
+		t.Unlock(a.Lock)
+	}
+	tc.stats.ScavengeTrimBytes += released
+	return released
+}
+
+// newScavenger builds the scavenger for a thread cache from its (already
+// default-filled) cost params and registers the tier sources in cascade
+// order.
+func (tc *ThreadCache) newScavenger(costs CostParams) *scavenge.Scavenger {
+	sc := scavenge.New(scavenge.Policy{
+		Interval:     sim.Time(costs.ScavengeInterval),
+		DecayPercent: costs.ScavengeDecay,
+		TrimPad:      tc.trimPad,
+		Work:         costs.ScavengeWork,
+	})
+	sc.Register(magazineSource{tc})
+	if tc.depot != nil {
+		sc.Register(depotSource{tc})
+	}
+	sc.Register(reuseSource{tc})
+	sc.Register(trimSource{tc})
+	return sc
+}
+
+// Scavenger returns the allocator's reclamation engine, nil when scavenging
+// is disabled. The bench harness uses it to run the background scavenger
+// thread and to force passes at phase boundaries.
+func (tc *ThreadCache) Scavenger() *scavenge.Scavenger { return tc.scav }
+
+// maybeScavenge is the inline hook: allocator entry points call it once per
+// operation, and it runs a decay pass on the caller when the epoch boundary
+// has passed. Free ride for busy phases; idle phases rely on Background.
+func (tc *ThreadCache) maybeScavenge(t *sim.Thread) {
+	if tc.scav != nil {
+		tc.scav.Tick(t)
+	}
+}

@@ -1,0 +1,449 @@
+package malloc
+
+import (
+	"fmt"
+	"testing"
+
+	"mtmalloc/internal/heap"
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/xrand"
+)
+
+// scavCosts returns thread-cache costs with the scavenger on at the given
+// epoch interval and deterministic fixed marks.
+func scavCosts(interval int64, decay int) CostParams {
+	costs := DefaultCostParams()
+	costs.CacheBatch = 4
+	costs.CacheHigh = 8
+	costs.CacheAdaptive = -1
+	costs.ScavengeInterval = interval
+	costs.ScavengeDecay = decay
+	costs.ScavengeTrimPad = 8 * 1024
+	return costs
+}
+
+// TestScavengerDecaysIdleMagazines: a thread's parked magazine decays once
+// the thread stops allocating — flushed into the arenas, then trimmed out to
+// the kernel — while the structural invariants keep holding.
+func TestScavengerDecaysIdleMagazines(t *testing.T) {
+	m, as := newWorld(2, 113)
+	err := m.Run(func(main *sim.Thread) {
+		costs := scavCosts(100000, 50)
+		costs.DepotCap = -1 // isolate the magazine path
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		var ps []uint64
+		for i := 0; i < 8; i++ {
+			p, err := al.Malloc(main, 64)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			if err := al.Free(main, p); err != nil {
+				t.Errorf("Free: %v", err)
+				return
+			}
+		}
+		st := al.Stats()
+		if st.CachedChunks != 8 {
+			t.Fatalf("cached chunks=%d, want 8 parked", st.CachedChunks)
+		}
+		arenaFrees := al.Arenas()[0].Stats().Frees
+
+		// One epoch of idleness, then a pass: half the magazine decays.
+		main.Charge(200000)
+		al.Scavenger().Force(main)
+		st = al.Stats()
+		if st.CachedChunks != 4 {
+			t.Errorf("cached chunks=%d after one 50%% pass, want 4", st.CachedChunks)
+		}
+		if st.ScavengeMagChunks != 4 {
+			t.Errorf("ScavengeMagChunks=%d, want 4", st.ScavengeMagChunks)
+		}
+		if got := al.Arenas()[0].Stats().Frees; got != arenaFrees+4 {
+			t.Errorf("arena frees=%d, want %d (scavenged chunks freed for real)", got, arenaFrees+4)
+		}
+		if st.ScavengeEpochs != 1 || st.ScavengeBytes == 0 {
+			t.Errorf("epochs=%d bytes=%d, want 1/nonzero", st.ScavengeEpochs, st.ScavengeBytes)
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+
+		// Repeated idle passes drain the magazine completely (min-one decay).
+		for i := 0; i < 6; i++ {
+			main.Charge(200000)
+			al.Scavenger().Force(main)
+		}
+		st = al.Stats()
+		if st.CachedChunks != 0 {
+			t.Errorf("cached chunks=%d after repeated idle passes, want 0", st.CachedChunks)
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check after drain: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScavengerSparesActiveMagazines: a cache whose owner keeps allocating
+// is never decayed, so the hit path stays hot.
+func TestScavengerSparesActiveMagazines(t *testing.T) {
+	m, as := newWorld(2, 127)
+	err := m.Run(func(main *sim.Thread) {
+		costs := scavCosts(100000, 100)
+		costs.DepotCap = -1
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		// Pair traffic keeps lastOp fresh across epoch boundaries; the
+		// inline Tick runs passes as time crosses each boundary.
+		for i := 0; i < 2000; i++ {
+			p, err := al.Malloc(main, 64)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			main.Charge(500)
+			if err := al.Free(main, p); err != nil {
+				t.Errorf("Free: %v", err)
+				return
+			}
+		}
+		st := al.Stats()
+		if st.ScavengeEpochs == 0 {
+			t.Fatal("inline ticks never ran a pass over 1M busy cycles")
+		}
+		if st.ScavengeMagChunks != 0 {
+			t.Errorf("scavenger stole %d chunks from a busy thread's magazine", st.ScavengeMagChunks)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScavengerReturnsColdDepotSpans: spans parked in the depot by a dead
+// thread decay back to the arenas once the class goes cold.
+func TestScavengerReturnsColdDepotSpans(t *testing.T) {
+	m, as := newWorld(2, 131)
+	err := m.Run(func(main *sim.Thread) {
+		costs := scavCosts(100000, 100)
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		w := main.Spawn("producer", func(w *sim.Thread) {
+			al.AttachThread(w)
+			defer al.DetachThread(w) // donates the magazine to the depot
+			var ps []uint64
+			for i := 0; i < 16; i++ {
+				p, err := al.Malloc(w, 64)
+				if err != nil {
+					t.Errorf("Malloc: %v", err)
+					return
+				}
+				ps = append(ps, p)
+			}
+			for _, p := range ps {
+				if err := al.Free(w, p); err != nil {
+					t.Errorf("Free: %v", err)
+					return
+				}
+			}
+		})
+		main.Join(w)
+		st := al.Stats()
+		if st.DepotChunks == 0 {
+			t.Fatal("detach parked nothing in the depot")
+		}
+		main.Charge(200000)
+		al.Scavenger().Force(main)
+		st = al.Stats()
+		if st.DepotChunks != 0 {
+			t.Errorf("depot chunks=%d after a cold 100%% pass, want 0", st.DepotChunks)
+		}
+		if st.ScavengeDepotSpans == 0 || st.ScavengeDepotChunks == 0 {
+			t.Errorf("depot scavenge counters %d spans / %d chunks, want nonzero",
+				st.ScavengeDepotSpans, st.ScavengeDepotChunks)
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScavengerExpiresReuseRegionsAndTrims: the vm reuse cache sheds parked
+// regions by age, and the trim source hands the arena-top tail back — the
+// residency counters must show memory actually leaving the process.
+func TestScavengerExpiresReuseRegionsAndTrims(t *testing.T) {
+	m, as := newWorld(2, 137)
+	err := m.Run(func(main *sim.Thread) {
+		// A long epoch: the setup below burns ~100K cycles faulting pages
+		// in, and no inline tick may fire before the parked state is built.
+		costs := scavCosts(10_000_000, 100)
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		// Park an above-threshold region with its pages faulted in.
+		const sz = 256 * 1024
+		p, err := al.Malloc(main, sz)
+		if err != nil {
+			t.Errorf("Malloc: %v", err)
+			return
+		}
+		for off := uint64(0); off < sz; off += 4096 {
+			as.Write8(main, p+off, 0xAB)
+		}
+		if err := al.Free(main, p); err != nil {
+			t.Errorf("Free: %v", err)
+			return
+		}
+		// Dirty and drain a stretch of small chunks so the arena has a fat
+		// free top to trim.
+		var ps []uint64
+		for i := 0; i < 100; i++ {
+			q, err := al.Malloc(main, 2000)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			as.Write8(main, q, 1)
+			as.Write8(main, q+1999, 1)
+			ps = append(ps, q)
+		}
+		for _, q := range ps {
+			if err := al.Free(main, q); err != nil {
+				t.Errorf("Free: %v", err)
+				return
+			}
+		}
+		before := as.Stats()
+		if before.MmapReuseParked == 0 {
+			t.Fatal("nothing parked in the reuse cache")
+		}
+		main.Charge(20_000_000)
+		al.Scavenger().Force(main)
+		// A second idle pass: the first flushed magazines/depot into the
+		// arenas; this one trims the now-coalesced top.
+		main.Charge(20_000_000)
+		al.Scavenger().Force(main)
+		st := al.Stats()
+		vs := as.Stats()
+		if vs.MmapReuseParked != 0 || vs.MmapReuseExpired == 0 {
+			t.Errorf("reuse cache not aged out: parked=%d expired=%d", vs.MmapReuseParked, vs.MmapReuseExpired)
+		}
+		if st.ScavengeReuseBytes == 0 {
+			t.Error("ScavengeReuseBytes = 0")
+		}
+		if st.ScavengeTrimBytes == 0 || st.PagesReleased == 0 {
+			t.Errorf("trim released %d bytes / %d pages, want nonzero", st.ScavengeTrimBytes, st.PagesReleased)
+		}
+		if vs.PagesPresent >= before.PagesPresent {
+			t.Errorf("residency did not drop: %d -> %d pages", before.PagesPresent, vs.PagesPresent)
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetachAndFlushRaceScavengerEpochs is the reclamation torture test:
+// worker threads churn several size classes (driving flushClass donations)
+// and detach — donating whole magazines — while a background scavenger
+// thread runs decay passes on a short epoch, interleaved by the engine with
+// every allocator operation. No chunk may be lost or double-parked: the
+// structural checker must stay clean throughout, and once the workers, the
+// drain and a final set of decay passes are done, every arena-level malloc
+// must have a matching arena-level free.
+func TestDetachAndFlushRaceScavengerEpochs(t *testing.T) {
+	m, as := newWorld(4, 139)
+	err := m.Run(func(main *sim.Thread) {
+		costs := scavCosts(20000, 50) // short epochs: many passes mid-churn
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		stop := false
+		bg := main.Spawn("scavenger", func(w *sim.Thread) {
+			al.Scavenger().Background(w, func() bool { return stop })
+		})
+		var mailbox []uint64
+		var checkErr error
+		var ws []*sim.Thread
+		for i := 0; i < 4; i++ {
+			ws = append(ws, main.Spawn(fmt.Sprintf("w%d", i), func(w *sim.Thread) {
+				al.AttachThread(w)
+				defer al.DetachThread(w)
+				r := xrand.New(139, uint64(w.ID()))
+				var local []uint64
+				for j := 0; j < 1200 && checkErr == nil; j++ {
+					switch {
+					case len(local) > 0 && r.Intn(3) == 0:
+						k := r.Intn(len(local))
+						if err := al.Free(w, local[k]); err != nil {
+							checkErr = err
+							return
+						}
+						local = append(local[:k], local[k+1:]...)
+					case len(mailbox) > 0 && r.Intn(4) == 0:
+						p := mailbox[len(mailbox)-1]
+						mailbox = mailbox[:len(mailbox)-1]
+						if err := al.Free(w, p); err != nil {
+							checkErr = err
+							return
+						}
+					default:
+						sz := []uint32{24, 64, 200, 1024}[r.Intn(4)]
+						p, err := al.Malloc(w, sz)
+						if err != nil {
+							checkErr = err
+							return
+						}
+						if r.Intn(2) == 0 {
+							local = append(local, p)
+						} else {
+							mailbox = append(mailbox, p)
+						}
+					}
+					if j%200 == 0 {
+						if err := al.Check(); err != nil {
+							checkErr = fmt.Errorf("mid-churn: %w", err)
+							return
+						}
+					}
+				}
+				for _, p := range local {
+					if err := al.Free(w, p); err != nil {
+						checkErr = err
+						return
+					}
+				}
+			}))
+		}
+		for _, w := range ws {
+			main.Join(w)
+		}
+		stop = true
+		main.Join(bg)
+		if checkErr != nil {
+			t.Error(checkErr)
+			return
+		}
+		for _, p := range mailbox {
+			if err := al.Free(main, p); err != nil {
+				t.Errorf("drain Free: %v", err)
+				return
+			}
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check after churn: %v", err)
+			return
+		}
+		st := al.Stats()
+		if st.ScavengeEpochs == 0 {
+			t.Fatal("the background scavenger never ran a pass")
+		}
+		if st.Heap.Mallocs != st.Heap.Frees {
+			t.Errorf("user mallocs %d != frees %d", st.Heap.Mallocs, st.Heap.Frees)
+		}
+		// Decay every tier to empty: with all user chunks freed and all
+		// parked chunks scavenged into the arenas, the arena-level books
+		// must balance exactly — any imbalance means a lost or double-freed
+		// chunk somewhere in the detach/flush/scavenge interleaving.
+		for i := 0; i < 30 && al.ParkedBytes() > 0; i++ {
+			main.Charge(40000)
+			al.Scavenger().Force(main)
+		}
+		if got := al.ParkedBytes(); got != 0 {
+			t.Fatalf("tiers still park %d bytes after full decay", got)
+		}
+		var am, af uint64
+		for _, a := range al.Arenas() {
+			am += a.Stats().Mallocs
+			af += a.Stats().Frees
+		}
+		if am != af {
+			t.Errorf("arena mallocs %d != arena frees %d after full decay", am, af)
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("final Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetachImmediatelyBeforeAndAfterEpoch pins the detach/epoch boundary:
+// a magazine donated by DetachThread right as an epoch fires must end up
+// either in the depot or in the arenas — exactly once.
+func TestDetachImmediatelyBeforeAndAfterEpoch(t *testing.T) {
+	m, as := newWorld(2, 149)
+	err := m.Run(func(main *sim.Thread) {
+		costs := scavCosts(50000, 100)
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		total := 0
+		for round := 0; round < 6; round++ {
+			w := main.Spawn(fmt.Sprintf("r%d", round), func(w *sim.Thread) {
+				al.AttachThread(w)
+				var ps []uint64
+				for i := 0; i < 12; i++ {
+					p, err := al.Malloc(w, 64)
+					if err != nil {
+						t.Errorf("Malloc: %v", err)
+						return
+					}
+					ps = append(ps, p)
+				}
+				for _, p := range ps {
+					if err := al.Free(w, p); err != nil {
+						t.Errorf("Free: %v", err)
+						return
+					}
+				}
+				// Detach donates; the forced pass right after must not
+				// double-count whatever the detach just moved.
+				al.DetachThread(w)
+				al.Scavenger().Force(w)
+			})
+			main.Join(w)
+			total += 12
+			if err := al.Check(); err != nil {
+				t.Errorf("round %d Check: %v", round, err)
+				return
+			}
+		}
+		st := al.Stats()
+		if st.Heap.Mallocs != uint64(total) || st.Heap.Frees != uint64(total) {
+			t.Errorf("user ops %d/%d, want %d/%d", st.Heap.Mallocs, st.Heap.Frees, total, total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mtmalloc/internal/heap"
+	"mtmalloc/internal/scavenge"
 	"mtmalloc/internal/sim"
 	"mtmalloc/internal/vm"
 )
@@ -53,6 +54,12 @@ type ThreadCache struct {
 	adaptive   bool
 	growStreak int
 
+	// scav is the reclamation engine (internal/scavenge), nil unless
+	// ScavengeInterval opted in; trimPad is the resident pad its trim source
+	// keeps at every arena top.
+	scav    *scavenge.Scavenger
+	trimPad uint32
+
 	// User-level op counts: arena counters include batch refills and
 	// deferred flushes, so Stats() reports these instead.
 	userMallocs uint64
@@ -82,6 +89,10 @@ type tcClass struct {
 type tcache struct {
 	home    *heap.Arena
 	classes map[uint32]*tcClass
+	// lastOp is the virtual time of the owner's most recent malloc/free;
+	// the scavenger's magazine source treats caches idle since before its
+	// cutoff as reclaimable.
+	lastOp sim.Time
 }
 
 // classOf returns (creating if needed) the cache's class for chunk size csz,
@@ -127,6 +138,9 @@ func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, cost
 	if costs.DepotCap == 0 {
 		costs.DepotCap = def.DepotCap
 	}
+	if costs.DepotCapBytes == 0 {
+		costs.DepotCapBytes = def.DepotCapBytes
+	}
 	if costs.CacheGrowStreak <= 0 {
 		costs.CacheGrowStreak = def.CacheGrowStreak
 	}
@@ -137,6 +151,15 @@ func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, cost
 		// The modern design defaults the vm reuse tier on; the paper's
 		// allocators leave it off unless a profile opts in.
 		costs.MmapReuseCap = DefaultMmapReuseCap
+	}
+	if costs.ScavengeDecay <= 0 {
+		costs.ScavengeDecay = def.ScavengeDecay
+	}
+	if costs.ScavengeTrimPad == 0 {
+		costs.ScavengeTrimPad = def.ScavengeTrimPad
+	}
+	if costs.ScavengeWork == 0 {
+		costs.ScavengeWork = def.ScavengeWork
 	}
 	b, err := newBase(t, "threadcache", as, params, costs)
 	if err != nil {
@@ -157,7 +180,17 @@ func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, cost
 		growStreak: costs.CacheGrowStreak,
 	}
 	if costs.DepotCap > 0 {
-		tc.depot = newTransferCache(as.Machine(), b.name, costs.DepotCap, costs.DepotXfer, &b.stats)
+		capBytes := costs.DepotCapBytes
+		if capBytes < 0 {
+			capBytes = 0 // legacy span-count cap
+		}
+		tc.depot = newTransferCache(as.Machine(), b.name, costs.DepotCap, capBytes, costs.DepotXfer, &b.stats)
+	}
+	if pad := costs.ScavengeTrimPad; pad > 0 {
+		tc.trimPad = uint32(pad)
+	}
+	if costs.ScavengeInterval > 0 {
+		tc.scav = tc.newScavenger(costs)
 	}
 	return tc, nil
 }
@@ -171,6 +204,7 @@ func (tc *ThreadCache) cacheOf(t *sim.Thread) *tcache {
 		c = &tcache{classes: make(map[uint32]*tcClass)}
 		tc.caches[t.ID()] = c
 	}
+	c.lastOp = t.Now()
 	return c
 }
 
@@ -213,6 +247,7 @@ func (tc *ThreadCache) growPool(t *sim.Thread) (*heap.Arena, error) {
 func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 	t.MaybeYield()
 	tc.opCharge(t, 0, tc.lastArena[t.ID()])
+	tc.maybeScavenge(t)
 	if mem, err, done := tc.mmapPath(t, size); done {
 		return mem, err
 	}
@@ -319,6 +354,7 @@ func (tc *ThreadCache) arenaBatch(t *sim.Thread, c *tcache, req uint32, extra in
 func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 	t.MaybeYield()
 	tc.opCharge(t, 0, tc.lastArena[t.ID()])
+	tc.maybeScavenge(t)
 	if done, err := tc.freeIfMmapped(t, mem); done {
 		return err
 	}
@@ -465,14 +501,9 @@ func (tc *ThreadCache) flush(t *sim.Thread, victims []tcEntry) error {
 // depot instead of the arena locks (benchmark 2's round handoff).
 func (tc *ThreadCache) DetachThread(t *sim.Thread) {
 	if c := tc.caches[t.ID()]; c != nil {
-		sizes := make([]int, 0, len(c.classes))
-		for csz := range c.classes {
-			sizes = append(sizes, int(csz))
-		}
-		sort.Ints(sizes)
-		for _, csz := range sizes {
-			cl := c.classes[uint32(csz)]
-			if err := tc.release(t, uint32(csz), cl.entries); err != nil {
+		for _, csz := range sortedKeys(c.classes) {
+			cl := c.classes[csz]
+			if err := tc.release(t, csz, cl.entries); err != nil {
 				panic(fmt.Sprintf("malloc: thread-cache release on detach: %v", err))
 			}
 			cl.entries = nil
@@ -504,12 +535,27 @@ func (tc *ThreadCache) Stats() Stats {
 	for _, c := range tc.caches {
 		for _, cl := range c.classes {
 			s.CachedChunks += len(cl.entries)
+			s.CachedBytes += uint64(len(cl.entries)) * uint64(cl.csz)
 		}
 	}
 	if tc.depot != nil {
 		s.DepotChunks = tc.depot.chunkCount()
+		s.DepotBytes = tc.depot.byteCount()
+	}
+	if tc.scav != nil {
+		sc := tc.scav.Stats()
+		s.ScavengeEpochs = sc.Epochs
+		s.ScavengeBytes = sc.BytesReleased
 	}
 	return s
+}
+
+// ParkedBytes sums the memory parked in every caching tier right now —
+// magazines, depot and the vm reuse cache. Together with the address
+// space's ResidentBytes it is the footprint metric experiment D3 plots.
+func (tc *ThreadCache) ParkedBytes() uint64 {
+	s := tc.Stats()
+	return s.CachedBytes + s.DepotBytes + s.MmapReuseParked
 }
 
 // Check verifies every arena plus the cache invariants: every parked chunk

@@ -2,7 +2,6 @@ package malloc
 
 import (
 	"fmt"
-	"sort"
 
 	"mtmalloc/internal/heap"
 	"mtmalloc/internal/sim"
@@ -21,29 +20,40 @@ import (
 // same invariant the magazines rely on), and every entry still records its
 // owning arena, so spans may mix arenas freely and later flushes route
 // correctly.
+//
+// Each class is capped either in spans (spanCap) or — the default — in bytes
+// (capBytes): the span count punishes adaptive marks, whose shrunken spans
+// hit the count limit while parking almost nothing. Classes also remember
+// when they were last exchanged, so the scavenger can tell cold classes from
+// hot ones and return their spans to the arenas.
 type transferCache struct {
-	mach    *sim.Machine
-	name    string
-	classes map[uint32]*depotClass
-	spanCap int
-	xfer    int64
-	stats   *Stats
+	mach     *sim.Machine
+	name     string
+	classes  map[uint32]*depotClass
+	spanCap  int
+	capBytes int64 // per-class byte cap; 0 falls back to spanCap
+	xfer     int64
+	stats    *Stats
 }
 
-// depotClass is one size class of the depot: its lock and parked spans.
+// depotClass is one size class of the depot: its lock, parked spans, parked
+// bytes and the last virtual time a span moved through it.
 type depotClass struct {
-	lock  *sim.Mutex
-	spans [][]tcEntry
+	lock    *sim.Mutex
+	spans   [][]tcEntry
+	bytes   int64
+	lastUse sim.Time
 }
 
-func newTransferCache(m *sim.Machine, name string, spanCap int, xfer int64, stats *Stats) *transferCache {
+func newTransferCache(m *sim.Machine, name string, spanCap int, capBytes int64, xfer int64, stats *Stats) *transferCache {
 	return &transferCache{
-		mach:    m,
-		name:    name,
-		classes: make(map[uint32]*depotClass),
-		spanCap: spanCap,
-		xfer:    xfer,
-		stats:   stats,
+		mach:     m,
+		name:     name,
+		classes:  make(map[uint32]*depotClass),
+		spanCap:  spanCap,
+		capBytes: capBytes,
+		xfer:     xfer,
+		stats:    stats,
 	}
 }
 
@@ -64,6 +74,7 @@ func (d *transferCache) get(t *sim.Thread, csz uint32) ([]tcEntry, bool) {
 	dc := d.classOf(csz)
 	t.Lock(dc.lock)
 	t.Charge(sim.Time(d.xfer))
+	dc.lastUse = t.Now()
 	n := len(dc.spans)
 	if n == 0 {
 		t.Unlock(dc.lock)
@@ -72,6 +83,7 @@ func (d *transferCache) get(t *sim.Thread, csz uint32) ([]tcEntry, bool) {
 	}
 	span := dc.spans[n-1]
 	dc.spans = dc.spans[:n-1]
+	dc.bytes -= int64(len(span)) * int64(csz)
 	t.Unlock(dc.lock)
 	d.stats.DepotHits++
 	return span, true
@@ -79,7 +91,7 @@ func (d *transferCache) get(t *sim.Thread, csz uint32) ([]tcEntry, bool) {
 
 // put donates a span to class csz. The depot keeps the slice, so callers
 // must hand over ownership. Returns false — without keeping the span — when
-// the class is at capacity.
+// the class is at capacity (bytes by default, spans in legacy mode).
 func (d *transferCache) put(t *sim.Thread, csz uint32, span []tcEntry) bool {
 	if len(span) == 0 {
 		return true
@@ -87,15 +99,54 @@ func (d *transferCache) put(t *sim.Thread, csz uint32, span []tcEntry) bool {
 	dc := d.classOf(csz)
 	t.Lock(dc.lock)
 	t.Charge(sim.Time(d.xfer))
-	if len(dc.spans) >= d.spanCap {
+	dc.lastUse = t.Now()
+	spanBytes := int64(len(span)) * int64(csz)
+	full := false
+	if d.capBytes > 0 {
+		full = dc.bytes+spanBytes > d.capBytes
+	} else {
+		full = len(dc.spans) >= d.spanCap
+	}
+	if full {
 		t.Unlock(dc.lock)
 		d.stats.DepotOverflows++
 		return false
 	}
 	dc.spans = append(dc.spans, span)
+	dc.bytes += spanBytes
 	t.Unlock(dc.lock)
 	d.stats.DepotDonates++
 	return true
+}
+
+// scavenge removes up to decayPercent of the spans (at least one) from every
+// class that has not exchanged a span since cutoff, oldest donations first,
+// and returns them for the caller to free into the arenas. Classes are swept
+// in size order so the pass is deterministic. Scavenging itself does not
+// refresh lastUse: a class nobody exchanges with keeps decaying epoch after
+// epoch until it is empty.
+func (d *transferCache) scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) (spans [][]tcEntry, chunks int, bytes uint64) {
+	for _, csz := range sortedKeys(d.classes) {
+		dc := d.classes[csz]
+		if dc.lastUse >= cutoff || len(dc.spans) == 0 {
+			continue
+		}
+		t.Lock(dc.lock)
+		t.Charge(sim.Time(d.xfer))
+		n := len(dc.spans) * decayPercent / 100
+		if n < 1 {
+			n = 1
+		}
+		for _, span := range dc.spans[:n] {
+			spans = append(spans, span)
+			chunks += len(span)
+			bytes += uint64(len(span)) * uint64(csz)
+			dc.bytes -= int64(len(span)) * int64(csz)
+		}
+		dc.spans = append(dc.spans[:0], dc.spans[n:]...)
+		t.Unlock(dc.lock)
+	}
+	return spans, chunks, bytes
 }
 
 // chunkCount returns the number of chunks parked right now.
@@ -109,17 +160,21 @@ func (d *transferCache) chunkCount() int {
 	return n
 }
 
+// byteCount returns the number of bytes parked right now.
+func (d *transferCache) byteCount() uint64 {
+	n := int64(0)
+	for _, dc := range d.classes {
+		n += dc.bytes
+	}
+	return uint64(n)
+}
+
 // check verifies depot invariants against the caller's duplicate set: every
 // parked chunk lies inside the arena recorded for it and appears in at most
 // one cache slot anywhere (magazines included).
 func (d *transferCache) check(seen map[uint64]bool) error {
-	sizes := make([]int, 0, len(d.classes))
-	for csz := range d.classes {
-		sizes = append(sizes, int(csz))
-	}
-	sort.Ints(sizes)
-	for _, csz := range sizes {
-		for _, span := range d.classes[uint32(csz)].spans {
+	for _, csz := range sortedKeys(d.classes) {
+		for _, span := range d.classes[csz].spans {
 			for _, e := range span {
 				if seen[e.mem] {
 					return fmt.Errorf("malloc: chunk 0x%x cached twice (depot class %d)", e.mem, csz)

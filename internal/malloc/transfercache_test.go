@@ -87,14 +87,16 @@ func TestDepotHitMissDonateAccounting(t *testing.T) {
 }
 
 // TestDepotOverflowFallsBackToArena: a full depot class refuses spans, which
-// are then freed into the arenas (the bounded-leak guarantee).
+// are then freed into the arenas (the bounded-leak guarantee). Uses the
+// legacy span-count cap (DepotCapBytes < 0) so the limit is exact.
 func TestDepotOverflowFallsBackToArena(t *testing.T) {
 	m, as := newWorld(2, 71)
 	err := m.Run(func(main *sim.Thread) {
 		costs := DefaultCostParams()
 		costs.CacheBatch = 4
 		costs.CacheHigh = 8
-		costs.DepotCap = 1 // one span per class
+		costs.DepotCap = 1       // one span per class
+		costs.DepotCapBytes = -1 // span-count mode
 		costs.CacheAdaptive = -1
 		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
 		if err != nil {
@@ -284,6 +286,63 @@ func TestDepotSpansSurviveCheckAcrossClasses(t *testing.T) {
 		}
 		if st.DepotDonates == 0 {
 			t.Error("no depot donations across 3 rounds of 4 classes")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDepotByteCapAdmitsSmallSpans pins the D2 co-tuning fix: under the
+// byte cap (the default), many small spans — the shape shrunken adaptive
+// marks produce — keep fitting where the old span-count cap would refuse
+// them, while the same cap still bounds total parked bytes.
+func TestDepotByteCapAdmitsSmallSpans(t *testing.T) {
+	m, as := newWorld(2, 107)
+	err := m.Run(func(main *sim.Thread) {
+		costs := DefaultCostParams()
+		costs.DepotCap = 2 // would refuse the third span under span counting
+		costs.DepotCapBytes = 8192
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		// Donate eight 2-chunk spans of 72-byte chunks (=144B each): far
+		// past the span-count cap, nowhere near the byte cap.
+		alloc := func() tcEntry {
+			a := al.arenas[0]
+			main.Lock(a.Lock)
+			p, err := a.Malloc(main, 64)
+			main.Unlock(a.Lock)
+			if err != nil {
+				t.Fatalf("arena malloc: %v", err)
+			}
+			return tcEntry{p, a}
+		}
+		csz := al.arenas[0].ChunkSizeOf(main, alloc().mem)
+		for i := 0; i < 8; i++ {
+			span := []tcEntry{alloc(), alloc()}
+			if !al.depot.put(main, csz, span) {
+				t.Fatalf("byte-capped depot refused small span %d", i)
+			}
+		}
+		if got := al.Stats().DepotOverflows; got != 0 {
+			t.Errorf("overflows = %d donating 2.3KB against an 8KB byte cap", got)
+		}
+		// The byte cap still binds: one span pushing past 8KB is refused.
+		big := make([]tcEntry, 0, 100)
+		for i := 0; i < 100; i++ {
+			big = append(big, alloc())
+		}
+		if al.depot.put(main, csz, big) {
+			t.Error("7.2KB span accepted on top of 2.3KB parked against an 8KB cap")
+		}
+		if got := al.Stats().DepotOverflows; got != 1 {
+			t.Errorf("overflows = %d after the oversized donation, want 1", got)
+		}
+		if got := al.depot.byteCount(); got > 8192 {
+			t.Errorf("depot holds %d bytes, cap 8192", got)
 		}
 	})
 	if err != nil {

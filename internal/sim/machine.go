@@ -356,6 +356,23 @@ func (m *Machine) drawMidCS(victim *Thread) {
 	}
 }
 
+// sleepThread parks t until its clock advances by d, releasing its CPU at
+// the pre-sleep instant: unlike the yield path, the busy interval ends where
+// the sleep begins, so sleeping threads consume no CPU capacity.
+func (m *Machine) sleepThread(t *Thread, d Time) {
+	if t.lastCPU >= 0 {
+		if cs := &m.cpus[t.lastCPU]; cs.lastThread == t.id {
+			cs.freeAt = t.clock
+		}
+	}
+	t.clock += d
+	t.state = stateRunnable
+	m.runnable = append(m.runnable, t)
+	m.engineCh <- t
+	<-t.resume
+	m.checkAbort()
+}
+
 // switchToEngine parks the calling thread and wakes the engine.
 func (m *Machine) switchToEngine(t *Thread) {
 	if t.state == stateRunning {

@@ -140,14 +140,19 @@ func (t *Thread) endBatch() {
 }
 
 // Sleep advances the thread's clock by d cycles without consuming CPU
-// capacity (the thread yields first so the engine releases its CPU).
+// capacity: the CPU is released at the pre-sleep instant and the thread
+// rejoins the run queue at its wake time, so other threads may run on that
+// CPU for the whole duration (nanosleep, not a spin). Must not be called
+// while holding a Mutex.
 func (t *Thread) Sleep(d Time) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	t.Yield()
-	t.clock += d
-	t.Yield()
+	if t.holding > 0 {
+		panic(fmt.Sprintf("sim: thread %q slept while holding %d mutex(es)", t.Name, t.holding))
+	}
+	t.endBatch()
+	t.machine.sleepThread(t, d)
 }
 
 // Spawn creates a new thread whose body starts at the caller's current time

@@ -10,6 +10,13 @@
 // service page faults on first touch. Unmapping (munmap, negative sbrk)
 // discards page contents and cache lines, so re-extension faults again,
 // exactly as Linux behaves.
+//
+// The reclamation subsystem adds a weaker form of giving memory back:
+// ReleasePages (madvise(MADV_DONTNEED) semantics) keeps a region mapped but
+// drops its resident pages, which read as zero — at the Refault cost — when
+// next touched. Residency is observable through Stats (PagesPresent,
+// ResidentBytes, PagesReleased, Refaults), which is what experiment D3's
+// footprint time series plots.
 package vm
 
 import (
@@ -76,11 +83,16 @@ type Costs struct {
 	Syscall    int64 // entering/leaving the kernel for sbrk/mmap/munmap
 	KernelHold int64 // cycles the kernel lock is held per VM syscall
 	PageFault  int64 // servicing one minor fault
+	// Refault is the cost of touching a page that ReleasePages gave back to
+	// the kernel (madvise(DONTNEED) semantics): still a minor fault, but the
+	// kernel must also hand out and zero a fresh frame. Zero falls back to
+	// PageFault.
+	Refault int64
 }
 
 // DefaultCosts returns constants for a late-1990s x86 kernel.
 func DefaultCosts() Costs {
-	return Costs{Syscall: 700, KernelHold: 900, PageFault: 1500}
+	return Costs{Syscall: 700, KernelHold: 900, PageFault: 1500, Refault: 1700}
 }
 
 // Stats counts VM events for one address space.
@@ -95,12 +107,19 @@ type Stats struct {
 	MappedBytes  uint64 // current anonymous+brk extent
 	PeakMapped   uint64
 	PagesPresent uint64
+	// Page-residency counters for the reclamation subsystem. ResidentBytes
+	// is PagesPresent scaled to bytes: the honest RSS of the space.
+	ResidentBytes uint64
+	MadviseCalls  uint64 // ReleasePages syscalls
+	PagesReleased uint64 // pages handed back by ReleasePages (cumulative)
+	Refaults      uint64 // faults on pages ReleasePages gave back (also MinorFaults)
 	// Mmap-region reuse cache counters (zero while the cache is disabled).
-	MmapReuses      uint64 // regions re-handed out without a syscall
-	MmapReuseBytes  uint64 // cumulative bytes served from the cache
-	MmapReuseParks  uint64 // regions parked instead of munmapped
-	MmapReuseEvicts uint64 // parked regions munmapped to honour the cap
-	MmapReuseParked uint64 // bytes parked right now (still counted as RSS)
+	MmapReuses       uint64 // regions re-handed out without a syscall
+	MmapReuseBytes   uint64 // cumulative bytes served from the cache
+	MmapReuseParks   uint64 // regions parked instead of munmapped
+	MmapReuseEvicts  uint64 // parked regions munmapped to honour the cap
+	MmapReuseExpired uint64 // parked regions munmapped by the scavenger's age sweep
+	MmapReuseParked  uint64 // bytes parked right now (still counted as RSS)
 }
 
 // Fault is panicked (and surfaced as a machine error) on an access outside
@@ -127,6 +146,9 @@ type AddressSpace struct {
 	brk  uint64
 
 	pages map[uint64][]byte
+	// released marks pages ReleasePages handed back to the kernel while their
+	// VMA stayed mapped: the next touch is a refault, not a first touch.
+	released map[uint64]bool
 	// one-entry page lookup cache: allocator loops touch few pages.
 	lastIdx  uint64
 	lastPage []byte
@@ -157,7 +179,8 @@ type AddressSpace struct {
 // reuseRegion is one parked anonymous mapping awaiting reuse.
 type reuseRegion struct {
 	addr, length uint64
-	seq          uint64 // park order, for FIFO eviction under the cap
+	seq          uint64   // park order, for FIFO eviction under the cap
+	parkedAt     sim.Time // park time, for the scavenger's age sweep
 }
 
 // Option configures an AddressSpace.
@@ -184,6 +207,7 @@ func New(id uint32, m *sim.Machine, model *cache.Model, opts ...Option) *Address
 		costs:        DefaultCosts(),
 		brk:          DataBase,
 		pages:        make(map[uint64][]byte, 256),
+		released:     make(map[uint64]bool),
 		mmapHint:     MmapBase,
 		stackHint:    StackTop,
 		reuseBuckets: make(map[uint64][]reuseRegion),
@@ -216,8 +240,15 @@ func (as *AddressSpace) Brk() uint64 { return as.brk }
 func (as *AddressSpace) Stats() Stats {
 	s := as.stats
 	s.PagesPresent = uint64(len(as.pages))
+	s.ResidentBytes = s.PagesPresent * PageSize
 	s.MmapReuseParked = as.reuseParked
 	return s
+}
+
+// SetRefaultCost overrides the cost charged when a released page is touched
+// again (allocator-level experiments tune it without a whole new profile).
+func (as *AddressSpace) SetRefaultCost(c int64) {
+	as.costs.Refault = c
 }
 
 // SetMmapReuse enables the mmap-region reuse cache with the given byte cap
@@ -464,38 +495,119 @@ func (as *AddressSpace) MunmapReuse(t *sim.Thread, addr, length uint64) bool {
 		as.evictOldestReuse(t)
 	}
 	as.reuseSeq++
-	as.reuseBuckets[length] = append(as.reuseBuckets[length], reuseRegion{addr: addr, length: length, seq: as.reuseSeq})
+	as.reuseBuckets[length] = append(as.reuseBuckets[length], reuseRegion{addr: addr, length: length, seq: as.reuseSeq, parkedAt: t.Now()})
 	as.reuseParked += length
 	as.stats.MmapReuseParks++
 	return true
 }
 
-// evictOldestReuse munmaps the least recently parked region.
-func (as *AddressSpace) evictOldestReuse(t *sim.Thread) {
+// oldestReuse locates the least recently parked region (minimum seq, which is
+// also the minimum park time) across all buckets. Returns ok=false when the
+// cache is empty.
+func (as *AddressSpace) oldestReuse() (key uint64, idx int, ok bool) {
 	bestSeq := ^uint64(0)
-	var bestKey uint64
-	bestIdx := -1
+	idx = -1
 	for k, list := range as.reuseBuckets {
 		for i, r := range list {
 			if r.seq < bestSeq {
-				bestSeq, bestKey, bestIdx = r.seq, k, i
+				bestSeq, key, idx = r.seq, k, i
 			}
 		}
 	}
-	if bestIdx < 0 {
-		return
-	}
-	list := as.reuseBuckets[bestKey]
-	r := list[bestIdx]
-	as.reuseBuckets[bestKey] = append(list[:bestIdx], list[bestIdx+1:]...)
-	if len(as.reuseBuckets[bestKey]) == 0 {
-		delete(as.reuseBuckets, bestKey)
+	return key, idx, idx >= 0
+}
+
+// removeReuse unlinks bucket entry (key, idx) and returns it.
+func (as *AddressSpace) removeReuse(key uint64, idx int) reuseRegion {
+	list := as.reuseBuckets[key]
+	r := list[idx]
+	as.reuseBuckets[key] = append(list[:idx], list[idx+1:]...)
+	if len(as.reuseBuckets[key]) == 0 {
+		delete(as.reuseBuckets, key)
 	}
 	as.reuseParked -= r.length
+	return r
+}
+
+// evictOldestReuse munmaps the least recently parked region.
+func (as *AddressSpace) evictOldestReuse(t *sim.Thread) {
+	k, i, ok := as.oldestReuse()
+	if !ok {
+		return
+	}
+	r := as.removeReuse(k, i)
 	as.stats.MmapReuseEvicts++
 	if err := as.Munmap(t, r.addr, r.length); err != nil {
 		panic(fmt.Sprintf("vm: evicting parked reuse region: %v", err))
 	}
+}
+
+// EvictReuseBefore munmaps every parked reuse region whose park time is
+// earlier than cutoff — the scavenger's age sweep over the reuse tier.
+// Regions are evicted oldest-first, so the sweep is deterministic. Returns
+// the number of regions and bytes released.
+func (as *AddressSpace) EvictReuseBefore(t *sim.Thread, cutoff sim.Time) (regions, bytes uint64) {
+	for {
+		k, i, ok := as.oldestReuse()
+		if !ok || as.reuseBuckets[k][i].parkedAt >= cutoff {
+			return regions, bytes
+		}
+		r := as.removeReuse(k, i)
+		as.stats.MmapReuseExpired++
+		if err := as.Munmap(t, r.addr, r.length); err != nil {
+			panic(fmt.Sprintf("vm: expiring parked reuse region: %v", err))
+		}
+		regions++
+		bytes += r.length
+	}
+}
+
+// ReleasePages hands the resident pages of [addr, addr+length) back to the
+// kernel without unmapping them — madvise(MADV_DONTNEED) semantics. The
+// region stays mapped; its pages become non-resident and read as zero when
+// next touched, at which point the toucher pays the Refault cost. Partial
+// pages at either end are left alone (only whole pages inside the range are
+// released), so callers may pass unaligned chunk bounds. Returns the number
+// of bytes released.
+func (as *AddressSpace) ReleasePages(t *sim.Thread, addr, length uint64) uint64 {
+	lo := pageCeil(addr)
+	hi := pageFloor(addr + length)
+	if hi <= lo {
+		return 0
+	}
+	// A caller that tracks nothing (the scavenger trims every arena every
+	// epoch) must not pay a syscall for an already-released range: check
+	// residency first — a Go-side read, like the allocator consulting its
+	// own books before deciding to call madvise.
+	resident := false
+	for p := lo; p < hi; p += PageSize {
+		if !as.mapped(p) {
+			panic(Fault{Space: as.ID, Addr: p, Op: "release-unmapped"})
+		}
+		if _, ok := as.pages[p/PageSize]; ok {
+			resident = true
+			break
+		}
+	}
+	if !resident {
+		return 0
+	}
+	as.vmSyscall(t)
+	as.stats.MadviseCalls++
+	released := uint64(0)
+	for p := lo; p < hi; p += PageSize {
+		idx := p / PageSize
+		if _, ok := as.pages[idx]; !ok {
+			continue // never touched or already released: nothing resident
+		}
+		delete(as.pages, idx)
+		as.released[idx] = true
+		released += PageSize
+	}
+	as.cache.DropRange(as.ID, lo, hi-lo)
+	as.lastPage = nil
+	as.stats.PagesReleased += released / PageSize
+	return released
 }
 
 // dropPages discards backing pages and cache lines for [lo, hi).
@@ -505,6 +617,7 @@ func (as *AddressSpace) dropPages(lo, hi uint64) {
 	}
 	for p := pageFloor(lo); p < hi; p += PageSize {
 		delete(as.pages, p/PageSize)
+		delete(as.released, p/PageSize)
 	}
 	as.cache.DropRange(as.ID, lo, hi-lo)
 	as.lastPage = nil
@@ -538,9 +651,19 @@ func (as *AddressSpace) page(t *sim.Thread, addr uint64, op string) []byte {
 			panic(Fault{Space: as.ID, Addr: addr, Op: op})
 		}
 		// Minor fault: serialize on the address-space lock, charge service
-		// time, and materialize a zero page.
+		// time, and materialize a zero page. A page ReleasePages gave back
+		// costs the (usually higher) refault rate and is counted separately,
+		// but it is still a minor fault.
+		cost := as.costs.PageFault
+		if as.released[idx] {
+			if as.costs.Refault > 0 {
+				cost = as.costs.Refault
+			}
+			delete(as.released, idx)
+			as.stats.Refaults++
+		}
 		t.Lock(as.mmLock)
-		t.Charge(sim.Time(as.costs.PageFault))
+		t.Charge(sim.Time(cost))
 		t.Unlock(as.mmLock)
 		as.stats.MinorFaults++
 		p = make([]byte, PageSize)

@@ -534,3 +534,140 @@ func TestMmapReuseOversizeRefused(t *testing.T) {
 		}
 	})
 }
+
+func TestReleasePagesAndRefault(t *testing.T) {
+	runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		base, err := as.Mmap(th, 8*PageSize, "scratch")
+		if err != nil {
+			t.Errorf("mmap: %v", err)
+			return
+		}
+		for i := uint64(0); i < 8; i++ {
+			as.Write8(th, base+i*PageSize, byte(i+1))
+		}
+		st := as.Stats()
+		present := st.PagesPresent
+		if present < 8 {
+			t.Fatalf("PagesPresent = %d after touching 8 pages", present)
+		}
+		// Release the middle six pages; the region stays mapped.
+		n := as.ReleasePages(th, base+PageSize, 6*PageSize)
+		if n != 6*PageSize {
+			t.Errorf("released %d bytes, want %d", n, 6*PageSize)
+		}
+		st = as.Stats()
+		if st.PagesPresent != present-6 {
+			t.Errorf("PagesPresent = %d, want %d", st.PagesPresent, present-6)
+		}
+		if st.PagesReleased != 6 || st.MadviseCalls != 1 {
+			t.Errorf("PagesReleased=%d MadviseCalls=%d, want 6/1", st.PagesReleased, st.MadviseCalls)
+		}
+		if st.ResidentBytes != st.PagesPresent*PageSize {
+			t.Errorf("ResidentBytes=%d inconsistent with PagesPresent=%d", st.ResidentBytes, st.PagesPresent)
+		}
+		// Untouched boundary pages keep their contents.
+		if as.Read8(th, base) != 1 || as.Read8(th, base+7*PageSize) != 8 {
+			t.Error("pages outside the released range lost their contents")
+		}
+		// A released page refaults, reads as zero, and is counted.
+		faults := as.Stats().MinorFaults
+		if got := as.Read8(th, base+2*PageSize); got != 0 {
+			t.Errorf("released page read %d, want 0", got)
+		}
+		st = as.Stats()
+		if st.Refaults != 1 {
+			t.Errorf("Refaults = %d, want 1", st.Refaults)
+		}
+		if st.MinorFaults != faults+1 {
+			t.Errorf("refault not counted as a minor fault: %d -> %d", faults, st.MinorFaults)
+		}
+		// Second read of the same page: resident again, no new fault.
+		as.Read8(th, base+2*PageSize)
+		if got := as.Stats().Refaults; got != 1 {
+			t.Errorf("Refaults = %d after re-read, want still 1", got)
+		}
+	})
+}
+
+func TestReleasePagesChargesRefaultCost(t *testing.T) {
+	m, c := testSetup(1)
+	as := New(1, m, c, WithCosts(Costs{Syscall: 100, KernelHold: 100, PageFault: 1000, Refault: 5000}))
+	err := m.Run(func(th *sim.Thread) {
+		base, err := as.Mmap(th, 2*PageSize, "scratch")
+		if err != nil {
+			t.Errorf("mmap: %v", err)
+			return
+		}
+		as.Write8(th, base, 1) // first touch: PageFault cost
+		as.ReleasePages(th, base, PageSize)
+		before := th.Now()
+		as.Write8(th, base, 2)
+		elapsed := int64(th.Now() - before)
+		if elapsed < 5000 {
+			t.Errorf("refault charged %d cycles, want >= the 5000-cycle refault cost", elapsed)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleasePagesPartialPagesUntouched(t *testing.T) {
+	runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		base, err := as.Mmap(th, 4*PageSize, "scratch")
+		if err != nil {
+			t.Errorf("mmap: %v", err)
+			return
+		}
+		for i := uint64(0); i < 4; i++ {
+			as.Write8(th, base+i*PageSize, 7)
+		}
+		// An unaligned range only releases the whole pages inside it.
+		n := as.ReleasePages(th, base+100, 2*PageSize)
+		if n != PageSize {
+			t.Errorf("released %d bytes from an unaligned 2-page range, want exactly %d", n, PageSize)
+		}
+		if as.Read8(th, base) != 7 || as.Read8(th, base+2*PageSize) != 7 {
+			t.Error("partially covered pages were released")
+		}
+	})
+}
+
+func TestEvictReuseBefore(t *testing.T) {
+	runAS(t, func(th *sim.Thread, as *AddressSpace) {
+		as.SetMmapReuse(1<<20, 10)
+		park := func() uint64 {
+			a, err := as.Mmap(th, 8*PageSize, "blob")
+			if err != nil {
+				t.Fatalf("mmap: %v", err)
+			}
+			as.Write8(th, a, 1)
+			if !as.MunmapReuse(th, a, 8*PageSize) {
+				t.Fatal("MunmapReuse refused")
+			}
+			return a
+		}
+		park()
+		park()
+		th.Charge(10)   // step past the second park's timestamp
+		cut := th.Now() // both regions parked strictly before this instant
+		th.Charge(1000)
+		fresh := park()
+		regions, bytes := as.EvictReuseBefore(th, cut)
+		if regions != 2 || bytes != 2*8*PageSize {
+			t.Errorf("evicted %d regions / %d bytes, want 2 / %d", regions, bytes, 2*8*PageSize)
+		}
+		st := as.Stats()
+		if st.MmapReuseExpired != 2 {
+			t.Errorf("MmapReuseExpired = %d, want 2", st.MmapReuseExpired)
+		}
+		if st.MmapReuseParked != 8*PageSize {
+			t.Errorf("parked bytes = %d, want the fresh region's %d", st.MmapReuseParked, 8*PageSize)
+		}
+		// The fresh region survived and is still reusable.
+		got, ok := as.MmapFromReuse(th, 8*PageSize)
+		if !ok || got != fresh {
+			t.Errorf("fresh region not served from the cache: ok=%v got=%x want=%x", ok, got, fresh)
+		}
+	})
+}
