@@ -26,14 +26,18 @@ func main() {
 	maxSize := flag.Int("maxsize", 4000, "maximum request size")
 	checkEvery := flag.Int("check-every", 1000, "structural check period (ops)")
 	scavenge := flag.Int64("scavenge", 0, "scavenger epoch interval in cycles (0 off): tortures reclamation against the churn")
+	binnedRelease := flag.Bool("binned-release", false, "enable the PageHeap-style binned-chunk page release with no resident pad (implies -scavenge 50000 when -scavenge is 0): tortures interior releases against the churn")
 	flag.Parse()
+	if *binnedRelease && *scavenge == 0 {
+		*scavenge = 50000
+	}
 
 	prof, err := bench.ProfileByName(*profileName)
 	if err != nil {
 		fatal(err)
 	}
 	for seed := 1; seed <= *seeds; seed++ {
-		if err := torture(prof, malloc.Kind(*allocator), *threads, *ops, *maxSize, *checkEvery, *scavenge, uint64(seed)); err != nil {
+		if err := torture(prof, malloc.Kind(*allocator), *threads, *ops, *maxSize, *checkEvery, *scavenge, *binnedRelease, uint64(seed)); err != nil {
 			fatal(fmt.Errorf("seed %d: %w", seed, err))
 		}
 		fmt.Printf("seed %d: ok\n", seed)
@@ -41,13 +45,19 @@ func main() {
 	fmt.Println("heapcheck: all invariants held")
 }
 
-func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkEvery int, scavenge int64, seed uint64) error {
+func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkEvery int, scavenge int64, binnedRelease bool, seed uint64) error {
 	opts := []bench.WorldOption{bench.WithAllocator(kind)}
 	if scavenge > 0 {
-		// Designs without a scavenger simply ignore the knob, so one flag
-		// tortures all four kinds uniformly.
+		// Designs without a scavenger simply ignore the knobs, so one flag
+		// set tortures all four kinds uniformly.
 		costs := prof.AllocCosts
 		costs.ScavengeInterval = scavenge
+		if binnedRelease {
+			// Padless and floor-at-one-page: maximum release pressure, so
+			// every released interior the churn re-carves is checked.
+			costs.ScavengeMinBinBytes = 4096
+			costs.ScavengeBinPad = -1
+		}
 		opts = append(opts, bench.WithAllocCosts(costs))
 	}
 	w := bench.NewWorld(prof, seed, opts...)

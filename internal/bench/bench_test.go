@@ -528,6 +528,65 @@ func TestScavengerFootprintDecay(t *testing.T) {
 	}
 }
 
+// TestBinnedReleaseFootprintDecay pins the D3 extension at test scale: the
+// PageHeap-style binned release must push the idle decay materially past
+// what the top trim alone manages (the multi-segment sub-arenas keep most
+// flushed memory in bins), must actually release binned interiors and charge
+// refaults when the next burst re-carves them, and must not tank the
+// post-idle burst (the resident bin pad keeps the refill's first carves
+// warm). The checked-in BENCH_D3.json documents 75.9% vs 57.4% decay at
+// 0.957x full-scale throughput; the test bounds are looser against scale
+// and seed drift.
+func TestBinnedReleaseFootprintDecay(t *testing.T) {
+	prof := QuadXeon500()
+	run := func(binned bool) FootprintRun {
+		cfg := DefaultFootprint(prof)
+		cfg.Slots = 800
+		cfg.LargeSlots = 2
+		cfg.Phases = []Phase{{Ops: 8000, IdleSeconds: 0.06}, {Ops: 8000}}
+		cfg.SamplePeriodSeconds = 0.002
+		costs := prof.AllocCosts
+		costs.ScavengeInterval = 1_000_000
+		if binned {
+			costs.ScavengeMinBinBytes = 4096
+			// The test workload is ~5x smaller than D3, so scale the
+			// resident bin pad down with it or nothing clears the floor.
+			costs.ScavengeBinPad = 64 << 10
+		}
+		cfg.Costs = &costs
+		r, err := RunFootprint(cfg)
+		if err != nil {
+			t.Fatalf("footprint (binned=%v): %v", binned, err)
+		}
+		return r
+	}
+	trimOnly := run(false)
+	binned := run(true)
+	if binned.AllocStats.Heap.BinReleases == 0 || binned.AllocStats.ScavengeBinBytes == 0 {
+		t.Fatalf("binned release never fired: %d releases, %d bytes",
+			binned.AllocStats.Heap.BinReleases, binned.AllocStats.ScavengeBinBytes)
+	}
+	if trimOnly.AllocStats.Heap.BinReleases != 0 {
+		t.Errorf("binned release fired %d times with the knob off", trimOnly.AllocStats.Heap.BinReleases)
+	}
+	if binned.DecayPercent < trimOnly.DecayPercent+10 {
+		t.Errorf("binned decay %.1f%% vs top-trim-only %.1f%%: the binned stage is not reaching the bins",
+			binned.DecayPercent, trimOnly.DecayPercent)
+	}
+	if binned.VMStats.Refaults == 0 {
+		t.Error("post-idle burst re-carved released interiors without refaults")
+	}
+	if binned.VMStats.Refaults > binned.VMStats.PagesReleased {
+		t.Errorf("refaults %d > pages released %d", binned.VMStats.Refaults, binned.VMStats.PagesReleased)
+	}
+	if len(binned.PhaseThroughput) > 1 && len(trimOnly.PhaseThroughput) > 1 {
+		ratio := binned.PhaseThroughput[1] / trimOnly.PhaseThroughput[1]
+		if ratio < 0.85 {
+			t.Errorf("post-idle burst throughput %.3fx of the trim-only run, want >= 0.85", ratio)
+		}
+	}
+}
+
 // TestLarsonPhaseSchedule: the phase knob must run all the scheduled bursts
 // (ops preserved) with the idle gaps stretching wall time, not op count.
 func TestLarsonPhaseSchedule(t *testing.T) {

@@ -266,11 +266,14 @@ func RunFootprint(cfg FootprintConfig) (FootprintRun, error) {
 }
 
 // ExpFootprint (D3) runs the phase-shift workload — burst, idle, burst —
-// for three configurations: the paper's ptmalloc, the thread cache as PRs
-// 1-2 left it (tiers park forever), and the thread cache with the
-// reclamation subsystem on. The table is the footprint time series of each;
-// the notes carry the per-phase throughputs and the idle-decay summary that
-// the acceptance criteria read.
+// for four configurations: the paper's ptmalloc, the thread cache as PRs
+// 1-2 left it (tiers park forever), the thread cache with the reclamation
+// subsystem on (top-trim-only reclamation, the PR-3 state), and the same
+// plus the PageHeap-style binned-chunk page release — the stage that reaches
+// the memory multi-segment sub-arenas keep in bins where TrimTop never
+// looks. The table is the footprint time series of each; the notes carry the
+// per-phase throughputs and the idle-decay summary that the acceptance
+// criteria read.
 func ExpFootprint(o Options) (*Table, error) {
 	prof := QuadXeon500()
 	ops := 40000
@@ -282,6 +285,8 @@ func ExpFootprint(o Options) (*Table, error) {
 	}
 	scavCosts := prof.AllocCosts
 	scavCosts.ScavengeInterval = 1_000_000 // 2ms epochs at 500 MHz
+	binCosts := scavCosts
+	binCosts.ScavengeMinBinBytes = 4096 // release any binned chunk with a whole idle page
 	configs := []struct {
 		name  string
 		kind  malloc.Kind
@@ -290,6 +295,7 @@ func ExpFootprint(o Options) (*Table, error) {
 		{"ptmalloc", malloc.KindPTMalloc, nil},
 		{"threadcache", malloc.KindThreadCache, nil},
 		{"threadcache+scav", malloc.KindThreadCache, &scavCosts},
+		{"threadcache+scav+binned", malloc.KindThreadCache, &binCosts},
 	}
 	t := &Table{ID: "D3", Title: "footprint under phase shifts, quad Xeon: burst / idle 80ms / burst, 4 threads, 512B + 160KB slots",
 		Columns: []string{"config", "t(ms)", "resident(KB)", "parked(KB)", "footprint(KB)"}}
@@ -322,19 +328,25 @@ func ExpFootprint(o Options) (*Table, error) {
 			decay = fmt.Sprintf("%.1f%% (peak %d KB -> trough %d KB)",
 				r.run.DecayPercent, r.run.PeakFootprint/1024, r.run.IdleTrough/1024)
 		}
-		t.Note("%s: burst throughput %s ops/s; idle decay %s; refaults %d; scavenge epochs %d",
+		t.Note("%s: burst throughput %s ops/s; idle decay %s; refaults %d; scavenge epochs %d; bin releases %d (%d KB)",
 			r.name, fmtThroughputs(r.run.PhaseThroughput), decay,
-			r.run.VMStats.Refaults, r.run.AllocStats.ScavengeEpochs)
+			r.run.VMStats.Refaults, r.run.AllocStats.ScavengeEpochs,
+			r.run.AllocStats.Heap.BinReleases, r.run.AllocStats.ScavengeBinBytes/1024)
 	}
-	// The acceptance comparison: post-idle burst throughput with the
-	// scavenger on vs off, and the decay the scavenger bought.
-	tcOff, tcOn := results[1].run, results[2].run
+	// The acceptance comparisons: post-idle burst throughput with reclamation
+	// on vs off, and the decay each reclamation depth bought.
+	tcOff, tcOn, tcBin := results[1].run, results[2].run, results[3].run
 	if len(tcOff.PhaseThroughput) > 1 && len(tcOn.PhaseThroughput) > 1 {
 		ratio := tcOn.PhaseThroughput[1] / tcOff.PhaseThroughput[1]
 		t.Note("acceptance: threadcache+scav idle decay %.1f%% (criterion >= 50%%); post-idle burst throughput %.3fx of no-scavenger run (criterion within ~10%%)",
 			tcOn.DecayPercent, ratio)
 	}
-	t.Note("footprint = resident pages + tier-parked bytes; scavenger: 2ms epochs, 50%%/epoch decay, 64KB trim pad")
+	if len(tcOff.PhaseThroughput) > 1 && len(tcBin.PhaseThroughput) > 1 {
+		ratio := tcBin.PhaseThroughput[1] / tcOff.PhaseThroughput[1]
+		t.Note("acceptance: threadcache+scav+binned idle decay %.1f%% (criterion >= 75%%, top-trim-only managed %.1f%%); post-idle burst throughput %.3fx of no-scavenger run (criterion >= 0.95x)",
+			tcBin.DecayPercent, tcOn.DecayPercent, ratio)
+	}
+	t.Note("footprint = resident pages + tier-parked bytes; scavenger: 2ms epochs, 50%%/epoch decay, 64KB trim pad; binned release floor 4KB, 256KB/arena resident bin pad")
 	if ops != 40000 {
 		t.Note("bursts ran %d replace ops per thread (scaled from 40000)", ops)
 	}

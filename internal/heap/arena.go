@@ -7,6 +7,15 @@ import (
 	"mtmalloc/internal/vm"
 )
 
+// binTag is the Go-side record ReleaseBinned keeps per binned free chunk:
+// when frontlink parked it, and how many whole-page interior bytes are still
+// resident (an upper-bound estimate — pages the program never touched count
+// too; zero once the interior has been released).
+type binTag struct {
+	at       sim.Time
+	resident uint64
+}
+
 // segment is one contiguous region of heap managed by an arena. The main
 // arena's first segment grows with sbrk; further segments (after an sbrk
 // failure, or for sub-arenas) are anonymous mappings. Only the last segment
@@ -35,8 +44,12 @@ type Stats struct {
 	BytesCopied   uint64 // payload bytes moved by CopyPayload (realloc moves)
 	TopReleases   uint64 // TrimTop calls that released at least one page
 	BytesReleased uint64 // bytes handed back to the kernel by TrimTop
-	BytesInUse    uint64
-	PeakInUse     uint64
+	// Binned-chunk page release (ReleaseBinned, the PageHeap-style path that
+	// reaches free memory TrimTop cannot).
+	BinReleases      uint64 // binned chunks whose interior lost at least one page
+	BinBytesReleased uint64 // bytes handed back to the kernel by ReleaseBinned
+	BytesInUse       uint64
+	PeakInUse        uint64
 }
 
 // Arena is one heap: a header (bins, binmap, top pointer) plus one or more
@@ -55,6 +68,29 @@ type Arena struct {
 	// mappedTotal tracks mmap'd segment bytes for the sub-arena size cap.
 	mappedTotal uint64
 
+	// binStamps records, per binned free chunk, the virtual time frontlink
+	// parked it plus its releasable whole-page interior; unlink clears the
+	// entry. ReleaseBinned consults it to tell idle chunks from ones the
+	// allocator is still turning over, and zeroes the resident estimate once
+	// a chunk's interior has been handed back so repeat sweeps skip it
+	// without charged reads. binResident sums the estimates: the pad
+	// ReleaseBinned keeps is measured against it. These are Go-side books
+	// (like the segment list), only ever looked up by key, never iterated
+	// outside the uncharged Check.
+	binStamps   map[uint64]binTag
+	binResident uint64
+	// binSettled remembers that the last ReleaseBinned sweep (with the
+	// floors below) released nothing and skipped no chunk merely for being
+	// hot: until frontlink/unlink change the bins, every repeat sweep would
+	// be identical, so it is answered without a walk.
+	binSettled                   bool
+	binSettledMin, binSettledPad uint64
+
+	// lastOp is the virtual time of the most recent Malloc/Free/
+	// ReallocInPlace on this arena; the scavenger's trim source skips arenas
+	// active since its cutoff so mid-burst arenas are not forced to refault.
+	lastOp sim.Time
+
 	stats Stats
 }
 
@@ -62,11 +98,12 @@ type Arena struct {
 // live in the brk segment, extended by sbrk.
 func NewMain(t *sim.Thread, as *vm.AddressSpace, params *Params) (*Arena, error) {
 	a := &Arena{
-		Index:  0,
-		IsMain: true,
-		Lock:   as.Machine().NewMutex("arena.0"),
-		as:     as,
-		params: params,
+		Index:     0,
+		IsMain:    true,
+		Lock:      as.Machine().NewMutex("arena.0"),
+		as:        as,
+		params:    params,
+		binStamps: make(map[uint64]binTag),
 	}
 	// One page for the header plus the first sliver of heap.
 	base, err := as.Sbrk(t, pageCeilI(hdrSize+4096))
@@ -84,11 +121,12 @@ func NewMain(t *sim.Thread, as *vm.AddressSpace, params *Params) (*Arena, error)
 // NewSub creates a ptmalloc-style sub-arena in its own mapping.
 func NewSub(t *sim.Thread, as *vm.AddressSpace, params *Params, index int) (*Arena, error) {
 	a := &Arena{
-		Index:  index,
-		IsMain: false,
-		Lock:   as.Machine().NewMutex(fmt.Sprintf("arena.%d", index)),
-		as:     as,
-		params: params,
+		Index:     index,
+		IsMain:    false,
+		Lock:      as.Machine().NewMutex(fmt.Sprintf("arena.%d", index)),
+		as:        as,
+		params:    params,
+		binStamps: make(map[uint64]binTag),
 	}
 	initial := uint64(params.SubArenaSize / 8)
 	if initial < 32*vm.PageSize {
@@ -151,6 +189,11 @@ func (a *Arena) Contains(addr uint64) bool {
 // Stats returns a copy of the arena statistics.
 func (a *Arena) Stats() Stats { return a.stats }
 
+// LastOp returns the virtual time of the arena's most recent malloc-family
+// operation; zero until the first one. The scavenger reads it (a Go-side
+// load, uncharged) to tell a mid-burst arena from an idle one.
+func (a *Arena) LastOp() sim.Time { return a.lastOp }
+
 // AddressSpace returns the arena's backing address space.
 func (a *Arena) AddressSpace() *vm.AddressSpace { return a.as }
 
@@ -163,6 +206,7 @@ func (a *Arena) HeaderBase() uint64 { return a.hdrBase }
 func (a *Arena) Malloc(t *sim.Thread, req uint32) (uint64, error) {
 	sz := a.params.Request2Size(req)
 	a.stats.Mallocs++
+	a.lastOp = t.Now()
 
 	// Exact small-bin hit, then the neighbouring bin (whose chunks are at
 	// most 8 bytes larger — below the split threshold, dlmalloc uses them
@@ -276,6 +320,7 @@ func (a *Arena) accountAlloc(n uint64) {
 // Free returns the chunk holding user address mem to the arena. The caller
 // must hold a.Lock and must have routed mem to the owning arena.
 func (a *Arena) Free(t *sim.Thread, mem uint64) error {
+	a.lastOp = t.Now()
 	c := mem - HeaderSz
 	if !a.Contains(c) {
 		return fmt.Errorf("%w: 0x%x not in arena %d", ErrBadFree, mem, a.Index)
@@ -481,6 +526,108 @@ func (a *Arena) TrimTop(t *sim.Thread, pad uint32) uint64 {
 		a.stats.BytesReleased += n
 	}
 	return n
+}
+
+// binInteriorLo returns the first releasable address of a binned chunk: the
+// chunk's header plus fd/bk words stay resident below it. Both the
+// frontlink-time resident estimate and the ReleasePages call derive their
+// bound from here, so the two can never drift apart.
+func binInteriorLo(c uint64) uint64 {
+	return pageCeilU(c + HeaderSz + 2*SizeSz)
+}
+
+// binReleasable returns the whole-page interior of a binned chunk at c with
+// size sz: the bytes ReleaseBinned may hand back. The prev-size footer lives
+// in the next chunk's first word, outside the range already.
+func binReleasable(c uint64, sz uint32) (lo, hi uint64) {
+	lo = binInteriorLo(c)
+	hi = (c + uint64(sz)) &^ (vm.PageSize - 1)
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// BinResidentEstimate returns the arena's running estimate of resident
+// whole-page interior bytes across its binned chunks (an upper bound: pages
+// the program never dirtied count too).
+func (a *Arena) BinResidentEstimate() uint64 { return a.binResident }
+
+// ReleaseBinned is the PageHeap-style counterpart to TrimTop: it walks the
+// bins in deterministic order (descending index, list order within a bin)
+// and, for every free chunk that has sat binned since before cutoff,
+// releases the whole pages strictly inside it back to the kernel with
+// ReleasePages. The chunk's header and fd/bk words at the front stay
+// resident — and the prev-size footer lives in the next chunk's first word,
+// outside the released range — so unlink, coalescing and Check keep working
+// unchanged; the interior reads as zero and the next carve-out pays the
+// refault cost.
+//
+// Two floors bound the sweep. Chunks whose releasable interior is smaller
+// than minBytes are skipped: below that the madvise is not worth its
+// syscall. And the arena keeps up to pad bytes of binned interior resident
+// (measured against BinResidentEstimate), the binned analogue of the top
+// trim's pad: the walk runs biggest-first (descending bin index, and within
+// a size-sorted large bin from the bk end), so the big, cold chunks go
+// first — one madvise covering the most pages — while the smallest chunks,
+// exactly the ones a best-fit refill carves first when the next burst
+// arrives, stay warm under the pad. Returns the number of bytes released.
+// The caller must hold a.Lock.
+func (a *Arena) ReleaseBinned(t *sim.Thread, cutoff sim.Time, minBytes, pad uint64) uint64 {
+	if minBytes < vm.PageSize {
+		minBytes = vm.PageSize
+	}
+	if a.binSettled && minBytes == a.binSettledMin && pad == a.binSettledPad {
+		return 0 // the bins have not changed since a fruitless sweep
+	}
+	released := uint64(0)
+	hotSkips := false
+	for idx := NBins - 1; idx >= 2; idx-- {
+		if a.binResident < pad+minBytes {
+			break // everything left fits under the pad
+		}
+		// A bin whose largest possible chunk cannot span minBytes of whole
+		// pages has nothing to give: skip it without touching its list.
+		_, hiSz := binRange(idx)
+		if uint64(hiSz) < minBytes+MinChunk {
+			continue
+		}
+		// Large bins are kept sorted ascending by size, so the bk walk
+		// visits the biggest chunks first — matching the bin order above.
+		p := a.binPseudo(idx)
+		for c := a.bk(t, p); c != p; c = a.bk(t, c) {
+			tag, ok := a.binStamps[c]
+			if !ok || tag.resident < minBytes || a.binResident-tag.resident < pad {
+				continue
+			}
+			if tag.at >= cutoff {
+				hotSkips = true // will age in: the next sweep may take it
+				continue
+			}
+			n := a.as.ReleasePages(t, binInteriorLo(c), tag.resident)
+			// Nothing can touch a free chunk's interior while it stays
+			// binned, so whatever this sweep left non-resident stays that
+			// way: zero the estimate and spare later sweeps the repeat walk.
+			a.binResident -= tag.resident
+			tag.resident = 0
+			a.binStamps[c] = tag
+			if n > 0 {
+				a.stats.BinReleases++
+				a.stats.BinBytesReleased += n
+				released += n
+			}
+		}
+	}
+	// A sweep that shed nothing and passed over no still-hot candidate is in
+	// steady state: only a bin change (frontlink/unlink) can alter the next
+	// sweep's outcome, so skip the walks until one happens. The pad and
+	// floor are remembered because a different caller configuration would
+	// judge the same bins differently.
+	if released == 0 && !hotSkips {
+		a.binSettled = true
+		a.binSettledMin, a.binSettledPad = minBytes, pad
+	}
+	return released
 }
 
 // MmapChunk serves one request with a dedicated anonymous mapping (requests

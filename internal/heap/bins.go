@@ -181,6 +181,13 @@ func (a *Arena) frontlink(t *sim.Thread, c uint64, sz uint32) {
 	}
 	a.markBin(t, idx)
 	a.stats.BinInserts++
+	// Idle stamp for ReleaseBinned: a freshly binned chunk (or a re-binned
+	// coalesce product, which may have resident interior again) starts hot,
+	// with its whole-page interior counted resident.
+	lo, hi := binReleasable(c, sz)
+	a.binStamps[c] = binTag{at: t.Now(), resident: hi - lo}
+	a.binResident += hi - lo
+	a.binSettled = false
 }
 
 // unlink removes chunk c from whatever list it is on.
@@ -190,6 +197,11 @@ func (a *Arena) unlink(t *sim.Thread, c uint64) {
 	a.setFd(t, b, f)
 	a.setBk(t, f, b)
 	a.stats.BinRemoves++
+	if tag, ok := a.binStamps[c]; ok {
+		a.binResident -= tag.resident
+		delete(a.binStamps, c)
+		a.binSettled = false
+	}
 }
 
 // takeLast pops the oldest chunk from small bin i (FIFO order), returning 0

@@ -137,6 +137,25 @@ func (a *Arena) Check() error {
 			return fmt.Errorf("heap: binned chunk 0x%x not found free in any segment", c)
 		}
 	}
+
+	// The release bookkeeping must mirror the bins exactly: every binned
+	// chunk carries a tag, no tag outlives its chunk, and the resident
+	// estimate is the sum of the tags.
+	var wantResident uint64
+	for c, tag := range a.binStamps {
+		if _, ok := inBin[c]; !ok {
+			return fmt.Errorf("heap: release tag for 0x%x which is not binned", c)
+		}
+		wantResident += tag.resident
+	}
+	for c := range inBin {
+		if _, ok := a.binStamps[c]; !ok {
+			return fmt.Errorf("heap: binned chunk 0x%x has no release tag", c)
+		}
+	}
+	if a.binResident != wantResident {
+		return fmt.Errorf("heap: binResident estimate %d != tag sum %d", a.binResident, wantResident)
+	}
 	return nil
 }
 

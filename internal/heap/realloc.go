@@ -10,6 +10,7 @@ import "mtmalloc/internal/sim"
 // the mmap threshold still become mappings). The caller must hold the arena
 // lock and mem must belong to this arena (not an mmapped chunk).
 func (a *Arena) ReallocInPlace(t *sim.Thread, mem uint64, newReq uint32) (addr uint64, ok bool, err error) {
+	a.lastOp = t.Now()
 	c := mem - HeaderSz
 	w := a.sizeWord(t, c)
 	oldSz := w &^ FlagMask

@@ -49,19 +49,27 @@
 //
 //	magazine ──miss──> depot ──miss──> arena ──extend──> vm (sbrk/mmap)
 //	    │                │                │                  │
-//	    │ idle decay     │ cold spans     │ TrimTop          │ ReleasePages /
-//	    ▼                ▼                ▼                  ▼ munmap
+//	    │ idle decay     │ cold spans     │ TrimTop +        │ ReleasePages /
+//	    ▼                ▼                ▼ ReleaseBinned    ▼ munmap
 //	  arenas           arenas        page release          kernel
 //
 // Every epoch (ScavengeInterval cycles of virtual time, ticked inline by
 // allocator ops and kept alive during idle by a background thread), the
 // scavenger decays ScavengeDecay percent of whatever has been idle for at
-// least one epoch: magazines of threads that stopped allocating flush into
-// their arenas, depot classes nobody exchanged with return whole spans to
-// the arenas (tcmalloc's ReleaseToSpans), reuse-cache regions parked longer
-// than an epoch are munmapped for real, and finally each arena's free top
-// tail past ScavengeTrimPad is handed back madvise(DONTNEED)-style — the
-// region stays mapped and the next touch pays RefaultCost. Experiment D3
+// least one epoch, in five cascade stages: magazines of threads that
+// stopped allocating flush into their arenas (small classes carry a
+// fractional decay remainder, so the configured rate holds even for a
+// one-entry class), depot classes nobody exchanged with return whole spans
+// to the arenas (tcmalloc's ReleaseToSpans), free chunks that have sat
+// binned for a full epoch lose their whole-page interiors (tcmalloc's
+// PageHeap release — the only stage that reaches memory coalesced into the
+// middle of a multi-segment sub-arena; enabled by ScavengeMinBinBytes,
+// padded by ScavengeBinPad), reuse-cache regions parked longer than an
+// epoch are munmapped for real, and finally each arena's free top tail
+// past ScavengeTrimPad is handed back madvise(DONTNEED)-style — the region
+// stays mapped and the next touch pays RefaultCost. The binned and trim
+// stages skip arenas with a malloc/free since the cutoff, so a mid-burst
+// arena is never forced into a madvise/refault ping-pong. Experiment D3
 // measures the result: burst footprint decays during idle phases while the
 // post-idle burst keeps its throughput. Stats carries the whole story in
 // the Scavenge* counters plus PagesReleased/Refaults.
@@ -155,6 +163,19 @@ type CostParams struct {
 	// default, < 0 means no pad).
 	ScavengeTrimPad int64
 	ScavengeWork    int64 // fixed cycles charged per scavenge pass
+	// ScavengeMinBinBytes enables the PageHeap-style binned-chunk release
+	// stage (Arena.ReleaseBinned): a free chunk idle for a full epoch has the
+	// whole pages strictly inside it handed back to the kernel, provided at
+	// least this many bytes are releasable — below that the madvise is not
+	// worth its syscall. 0 (the default) leaves the stage off, so D1/D2 and
+	// every pre-existing profile measure exactly what they did before.
+	ScavengeMinBinBytes int64
+	// ScavengeBinPad is the binned analogue of ScavengeTrimPad: each arena
+	// keeps up to this many bytes of binned-chunk interior resident, biggest
+	// cold chunks released first, so the next burst's best-fit refill carves
+	// warm memory before it ever touches a released page (0 takes the
+	// default, < 0 keeps no pad).
+	ScavengeBinPad int64
 	// RefaultCost overrides the vm profile's cost of touching a page the
 	// scavenger released (0 keeps the profile value).
 	RefaultCost int64
@@ -174,6 +195,12 @@ const DefaultDepotCapBytes = 64 << 10
 // DefaultScavengeTrimPad is the per-arena resident pad NewThreadCache keeps
 // at each top chunk when ScavengeTrimPad is zero.
 const DefaultScavengeTrimPad = 64 << 10
+
+// DefaultScavengeBinPad is the per-arena resident pad of binned-chunk
+// interior the binned release keeps when ScavengeBinPad is zero. A quarter
+// of a sub-arena: enough warm memory for a burst's refill to get going
+// before it touches a released page.
+const DefaultScavengeBinPad = 256 << 10
 
 // DefaultCostParams returns mid-range constants; machine profiles override.
 func DefaultCostParams() CostParams {
@@ -250,9 +277,10 @@ type Stats struct {
 	ScavengeDepotSpans  uint64 // cold depot spans returned to arenas
 	ScavengeDepotChunks uint64 // chunks inside those spans
 	ScavengeReuseBytes  uint64 // parked mmap regions munmapped by age
+	ScavengeBinBytes    uint64 // binned-chunk interior bytes released to the kernel
 	ScavengeTrimBytes   uint64 // arena-top bytes released to the kernel
 	// Page-residency mirrors from the address space.
-	PagesReleased uint64 // pages handed back by the trim path (cumulative)
+	PagesReleased uint64 // pages handed back by ReleasePages — top trim and binned release (cumulative)
 	Refaults      uint64 // faults on pages the scavenger had released
 	ArenaCount    int
 	Heap          heap.Stats // summed over arenas
@@ -424,6 +452,10 @@ func (b *base) sumStats() Stats {
 		s.Heap.MunmapChunks += as.MunmapChunks
 		s.Heap.GrowsInPlace += as.GrowsInPlace
 		s.Heap.BytesCopied += as.BytesCopied
+		s.Heap.TopReleases += as.TopReleases
+		s.Heap.BytesReleased += as.BytesReleased
+		s.Heap.BinReleases += as.BinReleases
+		s.Heap.BinBytesReleased += as.BinBytesReleased
 		s.Heap.BytesInUse += as.BytesInUse
 		s.Heap.PeakInUse += as.PeakInUse
 	}

@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"sort"
 
+	"mtmalloc/internal/heap"
 	"mtmalloc/internal/scavenge"
 	"mtmalloc/internal/sim"
 )
@@ -25,14 +26,16 @@ func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
 // (internal/scavenge). Each caching tier registers as a scavenge.Source, and
 // the sweep order is the reclamation cascade:
 //
-//	magazines -> depot -> reuse cache -> arena-top trim
+//	magazines -> depot -> binned pages -> reuse cache -> arena-top trim
 //
 // Idle magazines and cold depot spans free their chunks into the owning
-// arenas (tcmalloc's ReleaseToSpans direction), the vm reuse cache unmaps
+// arenas (tcmalloc's ReleaseToSpans direction), the binned-page source hands
+// back the interiors of free chunks that coalesced somewhere the top trim
+// cannot reach (tcmalloc's PageHeap release), the vm reuse cache unmaps
 // regions that have sat parked for a full epoch, and finally the trim source
-// hands each arena's free top tail back to the kernel — so memory shed by
-// the earlier sources in a pass can leave the process within that same pass
-// once it coalesces into the top chunk.
+// hands each arena's free top tail back to the kernel. Chunks the earlier
+// sources free into the arenas carry fresh idle stamps, so they ride out to
+// the kernel on the following epochs once they have proven cold.
 //
 // All sources iterate their state in sorted order (thread IDs, size
 // classes), never raw map order: a scavenge pass must be a pure function of
@@ -60,9 +63,15 @@ func (s magazineSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent in
 			if len(cl.entries) == 0 {
 				continue
 			}
-			n := len(cl.entries) * decayPercent / 100
-			if n < 1 {
-				n = 1
+			// The share rarely divides evenly; the remainder carries over in
+			// hundredths-of-a-chunk so small classes decay at the configured
+			// rate instead of the 100%/epoch a rounded-up minimum would give
+			// a 1-entry class (or 25%/epoch a 4-entry class at 1% decay).
+			total := len(cl.entries)*decayPercent + cl.decayRem
+			n := total / 100
+			cl.decayRem = total % 100
+			if n == 0 {
+				continue
 			}
 			if err := tc.flush(t, cl.entries[:n]); err != nil {
 				panic("malloc: scavenging idle magazine: " + err.Error())
@@ -103,6 +112,48 @@ func (s depotSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) 
 	return bytes
 }
 
+// arenaPageSource is the PageHeap-style stage between the depot and the
+// reuse cache: it walks every arena's bins and releases the whole pages
+// strictly inside free chunks that have sat binned since before the cutoff
+// (Arena.ReleaseBinned). This is the only stage that reaches memory flushed
+// into the middle of a multi-segment sub-arena, where the top trim below
+// never looks. Age is the policy, like the reuse tier: a cold binned chunk
+// is released whole, and the next carve-out from it pays the refault cost.
+//
+// Arenas active since the cutoff are skipped entirely, same as the trim
+// source: a mid-burst arena turns its bins over constantly, and releasing a
+// chunk the churn re-carves two epochs later just buys a madvise/refault
+// ping-pong with no lasting footprint win.
+type arenaPageSource struct{ tc *ThreadCache }
+
+func (s arenaPageSource) Name() string { return "binned-pages" }
+
+func (s arenaPageSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) uint64 {
+	tc := s.tc
+	released := tc.forEachIdleArena(t, cutoff, func(a *heap.Arena) uint64 {
+		return a.ReleaseBinned(t, cutoff, tc.minBinBytes, tc.binPad)
+	})
+	tc.stats.ScavengeBinBytes += released
+	return released
+}
+
+// forEachIdleArena runs fn under the lock of every arena with no
+// malloc-family operation since cutoff and sums the bytes fn releases. It is
+// the one copy of the page-release stages' skip-busy policy: trimming or
+// madvising a mid-burst arena only forces the next carve-out to refault.
+func (tc *ThreadCache) forEachIdleArena(t *sim.Thread, cutoff sim.Time, fn func(*heap.Arena) uint64) uint64 {
+	released := uint64(0)
+	for _, a := range tc.arenas {
+		if a.LastOp() >= cutoff {
+			continue
+		}
+		t.Lock(a.Lock)
+		released += fn(a)
+		t.Unlock(a.Lock)
+	}
+	return released
+}
+
 // reuseSource expires parked mmap regions: anything the vm reuse cache has
 // held since before the cutoff is munmapped for real. Age, not decay
 // percentage, is the policy here — a parked region is all-or-nothing.
@@ -118,36 +169,55 @@ func (s reuseSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) 
 
 // trimSource is the terminal stage: it walks every arena and releases the
 // resident tail of its top chunk past the configured pad, which is where the
-// chunks freed by the earlier sources end up once they coalesce.
+// chunks freed by the earlier sources end up once they coalesce. Arenas with
+// a malloc-family operation since the cutoff are skipped: trimming a
+// mid-burst arena's top only forces the very next carve-out to refault the
+// pages back in. An arena the pass itself freed into (a magazine or depot
+// flush earlier in the same pass) counts as active too, so its trim waits
+// until those stages stop flushing — with geometric decay that is a handful
+// of epochs for a fat magazine, after which the coalesced chunks go out.
 type trimSource struct{ tc *ThreadCache }
 
 func (s trimSource) Name() string { return "arena-trim" }
 
 func (s trimSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) uint64 {
 	tc := s.tc
-	released := uint64(0)
-	for _, a := range tc.arenas {
-		t.Lock(a.Lock)
-		released += a.TrimTop(t, tc.trimPad)
-		t.Unlock(a.Lock)
-	}
+	released := tc.forEachIdleArena(t, cutoff, func(a *heap.Arena) uint64 {
+		return a.TrimTop(t, tc.trimPad)
+	})
 	tc.stats.ScavengeTrimBytes += released
 	return released
 }
 
 // newScavenger builds the scavenger for a thread cache from its (already
 // default-filled) cost params and registers the tier sources in cascade
-// order.
+// order. It is the single source of truth for the reclamation tuning: the
+// trim pad lives here (on tc, read by the trim source) and in no second copy
+// inside the engine's policy.
 func (tc *ThreadCache) newScavenger(costs CostParams) *scavenge.Scavenger {
+	if pad := costs.ScavengeTrimPad; pad > 0 {
+		tc.trimPad = uint32(pad)
+	}
+	if costs.ScavengeMinBinBytes > 0 {
+		tc.minBinBytes = uint64(costs.ScavengeMinBinBytes)
+		switch {
+		case costs.ScavengeBinPad == 0:
+			tc.binPad = DefaultScavengeBinPad
+		case costs.ScavengeBinPad > 0:
+			tc.binPad = uint64(costs.ScavengeBinPad)
+		}
+	}
 	sc := scavenge.New(scavenge.Policy{
 		Interval:     sim.Time(costs.ScavengeInterval),
 		DecayPercent: costs.ScavengeDecay,
-		TrimPad:      tc.trimPad,
 		Work:         costs.ScavengeWork,
 	})
 	sc.Register(magazineSource{tc})
 	if tc.depot != nil {
 		sc.Register(depotSource{tc})
+	}
+	if tc.minBinBytes > 0 {
+		sc.Register(arenaPageSource{tc})
 	}
 	sc.Register(reuseSource{tc})
 	sc.Register(trimSource{tc})

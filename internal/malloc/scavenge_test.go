@@ -76,7 +76,8 @@ func TestScavengerDecaysIdleMagazines(t *testing.T) {
 			t.Errorf("Check: %v", err)
 		}
 
-		// Repeated idle passes drain the magazine completely (min-one decay).
+		// Repeated idle passes drain the magazine completely (the fractional
+		// remainder carries across epochs, so even a 1-entry class decays).
 		for i := 0; i < 6; i++ {
 			main.Charge(200000)
 			al.Scavenger().Force(main)
@@ -385,6 +386,427 @@ func TestDetachAndFlushRaceScavengerEpochs(t *testing.T) {
 		}
 		if am != af {
 			t.Errorf("arena mallocs %d != arena frees %d after full decay", am, af)
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("final Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScavengerSmallMagazineDecayRate pins the effective decay rate for
+// magazines too small for the percentage to divide evenly: a 4-entry class
+// at ScavengeDecay=1 must lose one chunk every 25 epochs (1%/epoch), not one
+// per epoch (the old rounded-up minimum made it 25%/epoch, and drained a
+// 1-entry class 100%/epoch regardless of the configured rate).
+func TestScavengerSmallMagazineDecayRate(t *testing.T) {
+	m, as := newWorld(2, 151)
+	err := m.Run(func(main *sim.Thread) {
+		costs := scavCosts(100000, 1)
+		costs.DepotCap = -1
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		var ps []uint64
+		for i := 0; i < 4; i++ {
+			p, err := al.Malloc(main, 64)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			if err := al.Free(main, p); err != nil {
+				t.Errorf("Free: %v", err)
+				return
+			}
+		}
+		if st := al.Stats(); st.CachedChunks != 4 {
+			t.Fatalf("cached chunks=%d, want 4 parked", st.CachedChunks)
+		}
+		// 24 idle passes at 1%: the share keeps rounding to zero, so the
+		// class must not shed a single chunk yet.
+		for i := 0; i < 24; i++ {
+			main.Charge(200000)
+			al.Scavenger().Force(main)
+		}
+		if st := al.Stats(); st.CachedChunks != 4 {
+			t.Errorf("cached chunks=%d after 24 passes at 1%%, want 4 (decay ran %.0fx too fast)",
+				st.CachedChunks, float64(4-st.CachedChunks)*100/float64(4*24))
+		}
+		// Pass 25 accumulates a whole chunk's worth of decay.
+		main.Charge(200000)
+		al.Scavenger().Force(main)
+		st := al.Stats()
+		if st.CachedChunks != 3 || st.ScavengeMagChunks != 1 {
+			t.Errorf("cached=%d scavenged=%d after 25 passes at 1%%, want 3/1", st.CachedChunks, st.ScavengeMagChunks)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScavengerSingleEntryClassHalfDecay: a 1-entry class at 50% decay takes
+// two epochs to drain, matching the configured rate.
+func TestScavengerSingleEntryClassHalfDecay(t *testing.T) {
+	m, as := newWorld(2, 153)
+	err := m.Run(func(main *sim.Thread) {
+		costs := scavCosts(100000, 50)
+		costs.DepotCap = -1
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		// Drain the refill batch (CacheBatch=4) so exactly one entry parks.
+		var ps []uint64
+		for i := 0; i < 4; i++ {
+			p, err := al.Malloc(main, 64)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			ps = append(ps, p)
+		}
+		if err := al.Free(main, ps[0]); err != nil {
+			t.Errorf("Free: %v", err)
+			return
+		}
+		if st := al.Stats(); st.CachedChunks != 1 {
+			t.Fatalf("cached chunks=%d, want exactly 1 parked", st.CachedChunks)
+		}
+		main.Charge(200000)
+		al.Scavenger().Force(main)
+		if st := al.Stats(); st.CachedChunks != 1 {
+			t.Errorf("cached chunks=%d after one 50%% pass on a 1-entry class, want 1 (half a chunk carries over)", st.CachedChunks)
+		}
+		main.Charge(200000)
+		al.Scavenger().Force(main)
+		if st := al.Stats(); st.CachedChunks != 0 {
+			t.Errorf("cached chunks=%d after two 50%% passes, want 0", st.CachedChunks)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScavengerSmallDepotDecayRate: the depot carries the same fractional
+// remainder as the magazines, so a one-span class at 50% decay survives the
+// first cold pass and drains on the second instead of vanishing 100%/epoch.
+func TestScavengerSmallDepotDecayRate(t *testing.T) {
+	m, as := newWorld(2, 155)
+	err := m.Run(func(main *sim.Thread) {
+		costs := scavCosts(100000, 50)
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		// A dying producer donates exactly one 4-chunk span to the depot.
+		w := main.Spawn("producer", func(w *sim.Thread) {
+			al.AttachThread(w)
+			defer al.DetachThread(w)
+			var ps []uint64
+			for i := 0; i < 4; i++ {
+				p, err := al.Malloc(w, 64)
+				if err != nil {
+					t.Errorf("Malloc: %v", err)
+					return
+				}
+				ps = append(ps, p)
+			}
+			for _, p := range ps {
+				if err := al.Free(w, p); err != nil {
+					t.Errorf("Free: %v", err)
+					return
+				}
+			}
+		})
+		main.Join(w)
+		if st := al.Stats(); st.DepotChunks != 4 {
+			t.Fatalf("depot chunks=%d, want one 4-chunk span parked", st.DepotChunks)
+		}
+		main.Charge(200000)
+		al.Scavenger().Force(main)
+		if st := al.Stats(); st.DepotChunks != 4 {
+			t.Errorf("depot chunks=%d after one 50%% pass on a 1-span class, want 4 (half a span carries over)", st.DepotChunks)
+		}
+		main.Charge(200000)
+		al.Scavenger().Force(main)
+		if st := al.Stats(); st.DepotChunks != 0 {
+			t.Errorf("depot chunks=%d after two 50%% passes, want 0", st.DepotChunks)
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScavengerTrimSkipsBusyArenas: the trim source must leave an arena
+// alone while its threads are mid-burst (trimming would only force refaults
+// onto the very next carve-out) and still trim the idle arena next door.
+func TestScavengerTrimSkipsBusyArenas(t *testing.T) {
+	m, as := newWorld(2, 157)
+	err := m.Run(func(main *sim.Thread) {
+		costs := scavCosts(50000, 50)
+		costs.DepotCap = -1
+		params := heap.DefaultParams()
+		params.Trim = false // isolate the scavenger's trim from free-time sbrk trimming
+		al, err := NewThreadCache(main, as, params, costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		al.AttachThread(main)
+		// Main (home: arena 0) builds a fat resident free top, then goes idle.
+		const big = 40000 // above CacheMax: straight to the arena, no magazine
+		var ps []uint64
+		for i := 0; i < 8; i++ {
+			p, err := al.Malloc(main, big)
+			if err != nil {
+				t.Errorf("Malloc: %v", err)
+				return
+			}
+			for off := uint64(0); off < big; off += 4096 {
+				as.Write8(main, p+off, 1)
+			}
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			if err := al.Free(main, p); err != nil {
+				t.Errorf("Free: %v", err)
+				return
+			}
+		}
+		// A worker (home: arena 1) churns through many epochs; the inline
+		// ticks run scavenge passes while its arena stays hot.
+		w := main.Spawn("busy", func(w *sim.Thread) {
+			al.AttachThread(w)
+			defer al.DetachThread(w)
+			for i := 0; i < 40; i++ {
+				p, err := al.Malloc(w, big)
+				if err != nil {
+					t.Errorf("worker Malloc: %v", err)
+					return
+				}
+				for off := uint64(0); off < big; off += 4096 {
+					as.Write8(w, p+off, 2)
+				}
+				if err := al.Free(w, p); err != nil {
+					t.Errorf("worker Free: %v", err)
+					return
+				}
+			}
+		})
+		main.Join(w)
+		arenas := al.Arenas()
+		if len(arenas) < 2 {
+			t.Fatalf("expected a second pool arena, have %d", len(arenas))
+		}
+		if st := al.Stats(); st.ScavengeEpochs == 0 {
+			t.Fatal("no scavenge pass ran during the worker burst")
+		}
+		if got := arenas[1].Stats().TopReleases; got != 0 {
+			t.Errorf("busy arena saw %d TopReleases mid-burst, want 0", got)
+		}
+		if got := arenas[0].Stats().TopReleases; got == 0 {
+			t.Error("idle arena was never trimmed")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScavengerReleasesBinnedChunks: with ScavengeMinBinBytes on, a free
+// chunk pinned away from the top chunk — exactly what TrimTop can never
+// reach — has its interior pages handed back after an idle epoch, and the
+// next burst that re-carves it pays refaults.
+func TestScavengerReleasesBinnedChunks(t *testing.T) {
+	m, as := newWorld(2, 163)
+	err := m.Run(func(main *sim.Thread) {
+		costs := scavCosts(100000, 100)
+		costs.DepotCap = -1
+		costs.ScavengeMinBinBytes = 4096
+		costs.ScavengeBinPad = -1 // no resident pad: one idle chunk must release
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		const big = 40000
+		A, err := al.Malloc(main, big)
+		if err != nil {
+			t.Errorf("Malloc: %v", err)
+			return
+		}
+		for off := uint64(0); off < big; off += 4096 {
+			as.Write8(main, A+off, 0xAB)
+		}
+		pin, err := al.Malloc(main, 64)
+		if err != nil {
+			t.Errorf("Malloc pin: %v", err)
+			return
+		}
+		if err := al.Free(main, A); err != nil {
+			t.Errorf("Free: %v", err)
+			return
+		}
+		// Note: the pin keeps A out of the top chunk, so without the binned
+		// stage this memory would stay resident forever. Two passes: the
+		// first flushes the pin's magazine batch into the arena (stamping it
+		// active); the second finds the arena idle and releases A's interior.
+		main.Charge(200000)
+		al.Scavenger().Force(main)
+		main.Charge(200000)
+		al.Scavenger().Force(main)
+		st := al.Stats()
+		if st.Heap.BinReleases == 0 || st.ScavengeBinBytes == 0 {
+			t.Fatalf("binned release never fired: BinReleases=%d ScavengeBinBytes=%d",
+				st.Heap.BinReleases, st.ScavengeBinBytes)
+		}
+		if st.Heap.BinBytesReleased != st.ScavengeBinBytes {
+			t.Errorf("heap released %d bytes, scavenger accounted %d", st.Heap.BinBytesReleased, st.ScavengeBinBytes)
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("Check after binned release: %v", err)
+		}
+		// Re-carve the released chunk: the burst pays refaults, data works.
+		refBefore := as.Stats().Refaults
+		B, err := al.Malloc(main, big)
+		if err != nil {
+			t.Errorf("re-Malloc: %v", err)
+			return
+		}
+		for off := uint64(0); off < big; off += 4096 {
+			as.Write8(main, B+off, 0xCD)
+		}
+		if got := as.Stats().Refaults; got <= refBefore {
+			t.Errorf("refaults %d -> %d: re-carving released interior charged nothing", refBefore, got)
+		}
+		if err := al.Free(main, B); err != nil {
+			t.Errorf("Free B: %v", err)
+		}
+		if err := al.Free(main, pin); err != nil {
+			t.Errorf("Free pin: %v", err)
+		}
+		if err := al.Check(); err != nil {
+			t.Errorf("final Check: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinnedReleaseChurnTorture is the property test for the binned release:
+// random malloc/free churn with a forced scavenge pass between steps, the
+// structural checker running throughout. Live chunks must never lose their
+// stamps (a release that touched an allocated page would zero them),
+// conservation must hold down to the arena malloc==free balance after a full
+// decay, and the refault count must line up with the released pages when the
+// released interiors are re-carved.
+func TestBinnedReleaseChurnTorture(t *testing.T) {
+	m, as := newWorld(2, 167)
+	err := m.Run(func(main *sim.Thread) {
+		costs := scavCosts(50000, 50)
+		costs.ScavengeMinBinBytes = 4096 // depot stays on: all five stages race the churn
+		costs.ScavengeBinPad = -1        // and the binned stage releases everything it can
+		al, err := NewThreadCache(main, as, heap.DefaultParams(), costs)
+		if err != nil {
+			t.Errorf("NewThreadCache: %v", err)
+			return
+		}
+		al.AttachThread(main)
+		r := xrand.New(167, 1)
+		type obj struct {
+			p     uint64
+			n     uint32
+			stamp byte
+		}
+		var live []obj
+		for j := 0; j < 800; j++ {
+			if len(live) > 0 && r.Intn(2) == 0 {
+				k := r.Intn(len(live))
+				o := live[k]
+				if as.Read8(main, o.p) != o.stamp || as.Read8(main, o.p+uint64(o.n)-1) != o.stamp {
+					t.Errorf("step %d: stamp corrupted at 0x%x size %d (release touched a live chunk?)", j, o.p, o.n)
+					return
+				}
+				if err := al.Free(main, o.p); err != nil {
+					t.Errorf("step %d: Free: %v", j, err)
+					return
+				}
+				live = append(live[:k], live[k+1:]...)
+			} else {
+				n := uint32(1 + r.Intn(60000)) // spans cached, direct-arena and page-spanning sizes
+				p, err := al.Malloc(main, n)
+				if err != nil {
+					t.Errorf("step %d: Malloc(%d): %v", j, n, err)
+					return
+				}
+				stamp := byte(1 + r.Intn(255))
+				as.Write8(main, p, stamp)
+				as.Write8(main, p+uint64(n)-1, stamp)
+				live = append(live, obj{p, n, stamp})
+			}
+			// One idle epoch, then a forced pass between every two steps:
+			// the scavenger races the churn at maximum pressure.
+			main.Charge(60000)
+			al.Scavenger().Force(main)
+			if j%100 == 0 {
+				if err := al.Check(); err != nil {
+					t.Errorf("step %d: Check: %v", j, err)
+					return
+				}
+			}
+		}
+		for _, o := range live {
+			if as.Read8(main, o.p) != o.stamp || as.Read8(main, o.p+uint64(o.n)-1) != o.stamp {
+				t.Errorf("drain: stamp corrupted at 0x%x size %d", o.p, o.n)
+				return
+			}
+			if err := al.Free(main, o.p); err != nil {
+				t.Errorf("drain Free: %v", err)
+				return
+			}
+		}
+		// Decay every tier dry, then check conservation to the arena level.
+		for i := 0; i < 40 && al.ParkedBytes() > 0; i++ {
+			main.Charge(60000)
+			al.Scavenger().Force(main)
+		}
+		if got := al.ParkedBytes(); got != 0 {
+			t.Fatalf("tiers still park %d bytes after full decay", got)
+		}
+		var am, af uint64
+		for _, a := range al.Arenas() {
+			am += a.Stats().Mallocs
+			af += a.Stats().Frees
+		}
+		if am != af {
+			t.Errorf("arena mallocs %d != arena frees %d after full decay", am, af)
+		}
+		st := al.Stats()
+		vs := as.Stats()
+		if st.Heap.BinReleases == 0 {
+			t.Error("the churn never exercised the binned release stage")
+		}
+		if vs.Refaults == 0 {
+			t.Error("released interiors were never re-carved (no refaults)")
+		}
+		if vs.Refaults > vs.PagesReleased {
+			t.Errorf("refaults %d > pages released %d: refaulted a page nobody released", vs.Refaults, vs.PagesReleased)
 		}
 		if err := al.Check(); err != nil {
 			t.Errorf("final Check: %v", err)

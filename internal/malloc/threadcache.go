@@ -55,10 +55,13 @@ type ThreadCache struct {
 	growStreak int
 
 	// scav is the reclamation engine (internal/scavenge), nil unless
-	// ScavengeInterval opted in; trimPad is the resident pad its trim source
-	// keeps at every arena top.
-	scav    *scavenge.Scavenger
-	trimPad uint32
+	// ScavengeInterval opted in. trimPad is the resident pad its trim source
+	// keeps at every arena top and minBinBytes the binned-release floor; both
+	// are set by newScavenger, the single owner of the reclamation tuning.
+	scav        *scavenge.Scavenger
+	trimPad     uint32
+	minBinBytes uint64
+	binPad      uint64
 
 	// User-level op counts: arena counters include batch refills and
 	// deferred flushes, so Stats() reports these instead.
@@ -83,6 +86,10 @@ type tcClass struct {
 	mark int
 	// streak counts consecutive lock-free hits since the last miss or flush.
 	streak int
+	// decayRem carries the scavenger's fractional decay share in hundredths
+	// of a chunk, so small classes decay at the configured rate across
+	// epochs instead of rounding to all-or-nothing each pass.
+	decayRem int
 }
 
 // tcache is one thread's private front cache.
@@ -185,9 +192,6 @@ func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, cost
 			capBytes = 0 // legacy span-count cap
 		}
 		tc.depot = newTransferCache(as.Machine(), b.name, costs.DepotCap, capBytes, costs.DepotXfer, &b.stats)
-	}
-	if pad := costs.ScavengeTrimPad; pad > 0 {
-		tc.trimPad = uint32(pad)
 	}
 	if costs.ScavengeInterval > 0 {
 		tc.scav = tc.newScavenger(costs)

@@ -37,12 +37,16 @@ type transferCache struct {
 }
 
 // depotClass is one size class of the depot: its lock, parked spans, parked
-// bytes and the last virtual time a span moved through it.
+// bytes and the last virtual time a span moved through it. decayRem carries
+// the scavenger's fractional decay share in hundredths of a span, so small
+// classes decay at the configured rate instead of rounding to
+// all-or-nothing each epoch.
 type depotClass struct {
-	lock    *sim.Mutex
-	spans   [][]tcEntry
-	bytes   int64
-	lastUse sim.Time
+	lock     *sim.Mutex
+	spans    [][]tcEntry
+	bytes    int64
+	lastUse  sim.Time
+	decayRem int
 }
 
 func newTransferCache(m *sim.Machine, name string, spanCap int, capBytes int64, xfer int64, stats *Stats) *transferCache {
@@ -119,24 +123,28 @@ func (d *transferCache) put(t *sim.Thread, csz uint32, span []tcEntry) bool {
 	return true
 }
 
-// scavenge removes up to decayPercent of the spans (at least one) from every
-// class that has not exchanged a span since cutoff, oldest donations first,
-// and returns them for the caller to free into the arenas. Classes are swept
-// in size order so the pass is deterministic. Scavenging itself does not
-// refresh lastUse: a class nobody exchanges with keeps decaying epoch after
-// epoch until it is empty.
+// scavenge removes decayPercent of the spans from every class that has not
+// exchanged a span since cutoff, oldest donations first, and returns them
+// for the caller to free into the arenas. Classes are swept in size order so
+// the pass is deterministic. The share rarely divides evenly; the remainder
+// carries over in hundredths of a span (like the magazines' decayRem), so a
+// one-span class at 50% drains over two epochs instead of instantly.
+// Scavenging itself does not refresh lastUse: a class nobody exchanges with
+// keeps decaying epoch after epoch until it is empty.
 func (d *transferCache) scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) (spans [][]tcEntry, chunks int, bytes uint64) {
 	for _, csz := range sortedKeys(d.classes) {
 		dc := d.classes[csz]
 		if dc.lastUse >= cutoff || len(dc.spans) == 0 {
 			continue
 		}
+		total := len(dc.spans)*decayPercent + dc.decayRem
+		n := total / 100
+		dc.decayRem = total % 100
+		if n == 0 {
+			continue
+		}
 		t.Lock(dc.lock)
 		t.Charge(sim.Time(d.xfer))
-		n := len(dc.spans) * decayPercent / 100
-		if n < 1 {
-			n = 1
-		}
 		for _, span := range dc.spans[:n] {
 			spans = append(spans, span)
 			chunks += len(span)

@@ -28,8 +28,9 @@
 // The subsystem knows nothing about magazines or arenas: tiers register as
 // Sources, and each pass sweeps them in registration order with a cutoff
 // one epoch in the past. Order matters to the wiring (malloc registers
-// magazines before the depot before the trim source, so memory cascades
-// toward the arenas and then out to the kernel within a single pass).
+// magazines, then the depot, then the binned-page release, then the reuse
+// aging, then the top trim, so memory cascades toward the arenas and then
+// out to the kernel as it proves cold epoch over epoch).
 package scavenge
 
 import "mtmalloc/internal/sim"
@@ -42,11 +43,12 @@ type Policy struct {
 	// DecayPercent is the portion of an idle tier's parked memory released
 	// per epoch (1-100; 100 drains an idle tier in one pass).
 	DecayPercent int
-	// TrimPad is the number of bytes each arena keeps resident at its top
-	// when the trim source releases the tail (malloc_trim's pad).
-	TrimPad uint32
 	// Work is the fixed cycle charge per pass, on top of whatever the
 	// sources themselves charge (lock traffic, page releases, ...).
+	//
+	// Tier-specific tuning (trim pads, binned-release floors, ...) lives
+	// with the sources' owner, not here: the engine hands sources only the
+	// cutoff and decay rate, so there is exactly one copy of each knob.
 	Work int64
 }
 
@@ -82,7 +84,8 @@ type Scavenger struct {
 }
 
 // New creates a scavenger. Interval must be positive; DecayPercent is
-// clamped into [1, 100].
+// clamped into [1, 100] and a negative Work (the "free pass" convention of
+// the owner's other knobs) to zero, since charges cannot be negative.
 func New(p Policy) *Scavenger {
 	if p.Interval <= 0 {
 		panic("scavenge: non-positive interval")
@@ -92,6 +95,9 @@ func New(p Policy) *Scavenger {
 	}
 	if p.DecayPercent > 100 {
 		p.DecayPercent = 100
+	}
+	if p.Work < 0 {
+		p.Work = 0
 	}
 	return &Scavenger{policy: p}
 }
