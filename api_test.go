@@ -28,8 +28,9 @@ func TestFacadeWorldRoundtrip(t *testing.T) {
 }
 
 func TestFacadeProfiles(t *testing.T) {
-	if len(Profiles()) != 4 {
-		t.Fatalf("Profiles() = %d entries, want 4", len(Profiles()))
+	// The paper's four hosts plus the three-machine numa-500 family (D4).
+	if len(Profiles()) != 7 {
+		t.Fatalf("Profiles() = %d entries, want 7", len(Profiles()))
 	}
 	for _, p := range []Profile{DualPPro200(), QuadXeon500(), SunUltra2x400(), K6_400()} {
 		if p.CPUs < 1 || p.ClockMHz <= 0 {

@@ -27,6 +27,7 @@ func main() {
 	checkEvery := flag.Int("check-every", 1000, "structural check period (ops)")
 	scavenge := flag.Int64("scavenge", 0, "scavenger epoch interval in cycles (0 off): tortures reclamation against the churn")
 	binnedRelease := flag.Bool("binned-release", false, "enable the PageHeap-style binned-chunk page release with no resident pad (implies -scavenge 50000 when -scavenge is 0): tortures interior releases against the churn")
+	nodes := flag.Int("nodes", 0, "override the profile's NUMA node count (0 keeps it): tortures node-sharded placement and cross-node free routing")
 	flag.Parse()
 	if *binnedRelease && *scavenge == 0 {
 		*scavenge = 50000
@@ -35,6 +36,12 @@ func main() {
 	prof, err := bench.ProfileByName(*profileName)
 	if err != nil {
 		fatal(err)
+	}
+	if *nodes > 0 {
+		prof.Nodes = *nodes
+		if prof.SimCosts.RemoteAccess <= 1 {
+			prof.SimCosts.RemoteAccess = 1.6
+		}
 	}
 	for seed := 1; seed <= *seeds; seed++ {
 		if err := torture(prof, malloc.Kind(*allocator), *threads, *ops, *maxSize, *checkEvery, *scavenge, *binnedRelease, uint64(seed)); err != nil {

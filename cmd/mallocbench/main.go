@@ -10,6 +10,7 @@
 //	mallocbench -bench larson -threads 4 -allocator perthread
 //	mallocbench -bench d2 -scale 0.01 -json BENCH_D2.json
 //	mallocbench -bench d3 -scale 1 -json BENCH_D3.json
+//	mallocbench -bench d4 -scale 1 -json BENCH_D4.json
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson, d2 (mid-tier ablation) or d3 (footprint phase-shift)")
+	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson, d2 (mid-tier ablation), d3 (footprint phase-shift) or d4 (NUMA locality)")
 	profileName := flag.String("profile", "quad-xeon-500", "machine profile")
 	threads := flag.Int("threads", 2, "worker threads")
 	processes := flag.Bool("processes", false, "benchmark 1: one process per worker")
@@ -35,7 +36,7 @@ func main() {
 	runs := flag.Int("runs", 3, "repetitions")
 	seed := flag.Uint64("seed", 1, "base seed")
 	allocator := flag.String("allocator", "", "override allocator: serial, ptmalloc, perthread, threadcache")
-	scale := flag.Float64("scale", 0.02, "d2: fraction of the 10M benchmark-1 pairs to simulate")
+	scale := flag.Float64("scale", 0.02, "d2/d3/d4: workload scale factor (d2: fraction of the 10M benchmark-1 pairs)")
 	jsonPath := flag.String("json", "", "also write the result table as JSON to this file")
 	csv := flag.Bool("csv", false, "CSV output")
 	flag.Parse()
@@ -117,8 +118,14 @@ func main() {
 			fatal(err)
 		}
 		tab = res
+	case "d4":
+		res, err := bench.ExpLocality(bench.Options{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		tab = res
 	default:
-		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson, d2 or d3)", *which))
+		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson, d2, d3 or d4)", *which))
 	}
 
 	if *jsonPath != "" {

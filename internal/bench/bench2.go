@@ -30,8 +30,16 @@ type B2Config struct {
 	// work and spawning its successor, turning the chain into a bursty
 	// phase schedule (0 keeps the paper's back-to-back rounds).
 	RoundIdleSeconds float64
-	Runs             int
-	Seed             uint64
+	// TouchObjects makes each replace read the old object's first byte
+	// before freeing it and write the new object's after allocating —
+	// the application touching what it allocates, which the paper's fault
+	// benchmark never does. The locality experiment (D4) needs it: whether
+	// an object's memory is local to the chain thread only costs anything
+	// if the thread actually dereferences it. Off by default, so the
+	// paper's fault counts are untouched.
+	TouchObjects bool
+	Runs         int
+	Seed         uint64
 	// Allocator overrides the profile default when non-empty.
 	Allocator malloc.Kind
 	// Costs overrides the profile's allocator cost params when non-nil
@@ -141,6 +149,9 @@ func runBench2Once(cfg B2Config, seed uint64) (B2Run, error) {
 				replaceBatch := func() {
 					for _, i := range pending {
 						old := uint64(as.Read32(t, arr+uint64(4*i)))
+						if cfg.TouchObjects {
+							as.Read8(t, old)
+						}
 						if err := al.Free(t, old); err != nil {
 							panic(fmt.Sprintf("bench2: free: %v", err))
 						}
@@ -149,6 +160,9 @@ func runBench2Once(cfg B2Config, seed uint64) (B2Run, error) {
 						p, err := al.Malloc(t, cfg.Size)
 						if err != nil {
 							panic(fmt.Sprintf("bench2: malloc: %v", err))
+						}
+						if cfg.TouchObjects {
+							as.Write8(t, p, byte(i))
 						}
 						as.Write32(t, arr+uint64(4*i), uint32(p))
 					}

@@ -67,6 +67,7 @@ func All() []Experiment {
 		{"D1", "Four allocator designs: bench 1-2 + Larson, quad Xeon", "threadcache beats ptmalloc with ~0 trylock failures", ExpDesigns},
 		{"D2", "Thread-cache mid-tier ablation: depot, mmap reuse, adaptive marks", "depot cuts arena-lock acquisitions on bench 2; reuse cuts mmap syscalls and faults above threshold", ExpMidTier},
 		{"D3", "Footprint under phase shifts: burst / idle / burst, scavenger on vs off", "resident+parked decays >= 50% during idle with scavenging on; post-idle burst throughput within ~10% of the no-scavenger run", ExpFootprint},
+		{"D4", "NUMA locality: node-blind vs node-sharded placement, 1/2/4-node hosts", "node-sharded placement cuts remote-access charges >= 50% vs node-blind on Larson at 8 threads, 4 nodes", ExpLocality},
 	}
 }
 

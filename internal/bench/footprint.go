@@ -283,8 +283,7 @@ func ExpFootprint(o Options) (*Table, error) {
 			ops = 4000
 		}
 	}
-	scavCosts := prof.AllocCosts
-	scavCosts.ScavengeInterval = 1_000_000 // 2ms epochs at 500 MHz
+	scavCosts := prof.ScavengeCosts() // the host's own tuning: 2ms epochs at 500 MHz, 50%/epoch
 	binCosts := scavCosts
 	binCosts.ScavengeMinBinBytes = 4096 // release any binned chunk with a whole idle page
 	configs := []struct {

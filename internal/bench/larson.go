@@ -27,8 +27,16 @@ type LarsonConfig struct {
 	// IdleSeconds before the next burst (bursty server scenarios; D3's
 	// footprint experiment uses the same schedule shape).
 	Phases []Phase
-	Runs   int
-	Seed   uint64
+	// TouchObjects makes each replace fill the fresh object (one write per
+	// page) and read the old one's first byte before freeing it — the
+	// server actually using its buffers. The locality experiment (D4) turns
+	// it on so the cost of serving a thread memory homed on another node is
+	// visible: every page of a remotely-homed buffer pays the interconnect
+	// multiplier when its lines miss. Off by default, keeping the
+	// throughput workloads exactly as they were.
+	TouchObjects bool
+	Runs         int
+	Seed         uint64
 	// Allocator overrides the profile default when non-empty.
 	Allocator malloc.Kind
 	// Costs overrides the profile's allocator cost params when non-nil
@@ -127,12 +135,21 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 					for op := 0; op < n; op++ {
 						s := rng.Intn(cfg.Slots)
 						old := uint64(as.Read32(t, arr+uint64(4*s)))
+						if cfg.TouchObjects {
+							as.Read8(t, old)
+						}
 						if err := al.Free(t, old); err != nil {
 							panic(fmt.Sprintf("larson: free: %v", err))
 						}
-						p, err := al.Malloc(t, randSize())
+						sz := randSize()
+						p, err := al.Malloc(t, sz)
 						if err != nil {
 							panic(fmt.Sprintf("larson: alloc: %v", err))
+						}
+						if cfg.TouchObjects {
+							for off := uint64(0); off < uint64(sz); off += vm.PageSize {
+								as.Write8(t, p+off, byte(op))
+							}
 						}
 						as.Write32(t, arr+uint64(4*s), uint32(p))
 					}

@@ -22,6 +22,10 @@ type Profile struct {
 	Name     string
 	CPUs     int
 	ClockMHz float64
+	// Nodes is the machine's NUMA node count; 0 or 1 is a flat SMP (all of
+	// the paper's hosts). Multi-node profiles also set
+	// SimCosts.RemoteAccess, the cross-node touch multiplier.
+	Nodes int
 	// LineShift: log2 of the cache line size (5 = 32 bytes, the L1 line of
 	// the P6 and UltraSPARC-II era).
 	LineShift uint
@@ -30,6 +34,16 @@ type Profile struct {
 	CacheCosts cache.Costs
 	VMCosts    vm.Costs
 	AllocCosts malloc.CostParams
+
+	// Per-machine reclamation tuning: the epoch interval, decay rate and
+	// binned-release resident pad a scavenger-enabled run on this machine
+	// should use (D3-style experiments read them via ScavengeCosts instead
+	// of hardcoding one 2ms/50% policy for every host). They do NOT enable
+	// the scavenger by themselves — AllocCosts.ScavengeInterval stays 0, so
+	// throughput experiments measure exactly what they always did.
+	ScavengeInterval int64
+	ScavengeDecay    int
+	ScavengeBinPad   int64
 
 	// Allocator is the platform's default allocator design.
 	Allocator malloc.Kind
@@ -43,6 +57,22 @@ type Profile struct {
 	// BootstrapPages models program + C library startup faults (the
 	// constant term of benchmark 2's fault predictor).
 	BootstrapPages int
+}
+
+// ScavengeCosts returns the profile's allocator costs with the reclamation
+// subsystem switched on at the machine's own tuning (falling back to a 2ms
+// epoch at the machine's clock when the profile predates the per-machine
+// fields). Experiments that study reclamation (D3, D4) use this instead of
+// one hardcoded policy for every host.
+func (p Profile) ScavengeCosts() malloc.CostParams {
+	c := p.AllocCosts
+	c.ScavengeInterval = p.ScavengeInterval
+	if c.ScavengeInterval <= 0 {
+		c.ScavengeInterval = int64(0.002 * p.ClockMHz * 1e6)
+	}
+	c.ScavengeDecay = p.ScavengeDecay
+	c.ScavengeBinPad = p.ScavengeBinPad
+	return c
 }
 
 // DualPPro200 is the paper's first host: dual 200 MHz Pentium Pro, Red Hat
@@ -80,6 +110,12 @@ func DualPPro200() Profile {
 		HeapParams:     heap.DefaultParams(),
 		Bench3LoopWork: 6,
 		BootstrapPages: 10,
+		// 4ms epochs at 200 MHz: scavenge work is a bigger slice of this
+		// machine, so reclamation runs at half the cadence of the Xeon; the
+		// bin pad halves with the era's memory sizes.
+		ScavengeInterval: 800_000,
+		ScavengeDecay:    50,
+		ScavengeBinPad:   128 << 10,
 	}
 	return p
 }
@@ -121,6 +157,10 @@ func QuadXeon500() Profile {
 		HeapParams:     heap.DefaultParams(),
 		Bench3LoopWork: 7,
 		BootstrapPages: 10,
+		// The D3 tuning this host always ran: 2ms epochs at 500 MHz, 50%
+		// decay, default bin pad (0 = the allocator's 256KB).
+		ScavengeInterval: 1_000_000,
+		ScavengeDecay:    50,
 	}
 	return p
 }
@@ -160,6 +200,11 @@ func SunUltra2x400() Profile {
 		HeapParams:     heap.DefaultParams(),
 		Bench3LoopWork: 5,
 		BootstrapPages: 10,
+		// 2ms at 400 MHz; the single-lock libc has no parking tiers, so this
+		// only matters when a threadcache run borrows the host.
+		ScavengeInterval: 800_000,
+		ScavengeDecay:    50,
+		ScavengeBinPad:   128 << 10,
 	}
 	return p
 }
@@ -195,7 +240,33 @@ func K6_400() Profile {
 		HeapParams:     heap.DefaultParams(),
 		Bench3LoopWork: 6,
 		BootstrapPages: 10,
+		// A uniprocessor pays every inline scavenge pass out of its only
+		// CPU: long 4ms epochs and a gentle 25%/epoch decay, with the
+		// smallest bin pad (64MB-class machine).
+		ScavengeInterval: 1_600_000,
+		ScavengeDecay:    25,
+		ScavengeBinPad:   64 << 10,
 	}
+	return p
+}
+
+// NUMAServer is the forward-looking host the locality experiment (D4) runs
+// on: eight 500 MHz CPUs spread over the given number of nodes (1, 2 or 4),
+// with a 2.0x remote-access multiplier — mid-range for early cc-NUMA
+// interconnects (Sun WildFire / SGI Origin class, remote:local latency
+// between 1.5x and 3x). The flat 1-node variant is the control: the same
+// machine with the interconnect charge turned off. CPU, cache, VM and
+// allocator costs are the quad Xeon's, so the only variable across the
+// profile family is where memory lives.
+func NUMAServer(nodes int) Profile {
+	p := QuadXeon500()
+	p.Name = fmt.Sprintf("numa-500-%dn", nodes)
+	p.CPUs = 8
+	p.Nodes = nodes
+	if nodes > 1 {
+		p.SimCosts.RemoteAccess = 2.0
+	}
+	p.Allocator = malloc.KindThreadCache
 	return p
 }
 
@@ -206,6 +277,9 @@ func Profiles() map[string]Profile {
 		"quad-xeon-500":   QuadXeon500(),
 		"sun-ultra-2x400": SunUltra2x400(),
 		"k6-400":          K6_400(),
+		"numa-500-1n":     NUMAServer(1),
+		"numa-500-2n":     NUMAServer(2),
+		"numa-500-4n":     NUMAServer(4),
 	}
 }
 
@@ -213,7 +287,7 @@ func Profiles() map[string]Profile {
 func ProfileByName(name string) (Profile, error) {
 	p, ok := Profiles()[name]
 	if !ok {
-		return Profile{}, fmt.Errorf("bench: unknown profile %q (have dual-ppro-200, quad-xeon-500, sun-ultra-2x400, k6-400)", name)
+		return Profile{}, fmt.Errorf("bench: unknown profile %q (have dual-ppro-200, quad-xeon-500, sun-ultra-2x400, k6-400, numa-500-{1,2,4}n)", name)
 	}
 	return p, nil
 }

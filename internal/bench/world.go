@@ -72,6 +72,7 @@ func NewWorld(p Profile, seed uint64, opts ...WorldOption) *World {
 		ClockMHz: p.ClockMHz,
 		Costs:    p.SimCosts,
 		Seed:     seed,
+		Nodes:    p.Nodes,
 	})
 	w := &World{
 		Profile:    p,

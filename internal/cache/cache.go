@@ -120,9 +120,29 @@ func (m *Model) store(key uint64, l line) {
 	m.lastKey, m.lastVal, m.lastOK = key, l, true
 }
 
+// Fill classifies where an access's data came from, for callers that price
+// the interconnect distance of the fill (the vm layer's NUMA surcharge).
+type Fill int
+
+const (
+	FillNone   Fill = iota // hit or upgrade: no data transfer
+	FillMemory             // served from memory (cold or clean miss)
+	FillCache              // served from another CPU's dirty copy
+)
+
 // Access charges one read or write by cpu against the line identified by
 // key and returns its cost in cycles, updating directory state.
 func (m *Model) Access(cpu int, key uint64, write bool) int64 {
+	c, _, _ := m.AccessFill(cpu, key, write)
+	return c
+}
+
+// AccessFill is Access plus the fill classification: where the data came
+// from, and — for cache-to-cache transfers — which CPU supplied it (-1
+// otherwise). The vm layer uses the pair to decide whether a fill crossed
+// a NUMA node boundary: a memory fill travels from the page's home node, a
+// cache-to-cache fill from the supplier CPU's node.
+func (m *Model) AccessFill(cpu int, key uint64, write bool) (int64, Fill, int) {
 	l := m.load(key)
 	bit := uint64(1) << uint(cpu)
 	st := &m.stats[cpu]
@@ -131,37 +151,38 @@ func (m *Model) Access(cpu int, key uint64, write bool) int64 {
 		switch {
 		case l.owner == int8(cpu):
 			st.Hits++
-			return m.costs.Hit
+			return m.costs.Hit, FillNone, -1
 		case l.owner >= 0:
 			// Another CPU has the dirty copy: fetch it and take ownership.
 			st.RemoteMisses++
 			m.stats[l.owner].Invalidated++
 			m.OwnerFlips++
+			from := int(l.owner)
 			m.store(key, line{owner: int8(cpu), sharers: bit})
-			return m.costs.MissRemote
+			return m.costs.MissRemote, FillCache, from
 		case l.sharers == bit:
 			// We have the only clean copy: silent upgrade still costs a bus
 			// transaction on this era of hardware.
 			st.Upgrades++
 			m.store(key, line{owner: int8(cpu), sharers: bit})
-			return m.costs.Upgrade
+			return m.costs.Upgrade, FillNone, -1
 		case l.sharers&bit != 0:
 			// We share it with others: invalidate them.
 			st.Upgrades++
 			m.chargeInvalidations(l.sharers &^ bit)
 			m.store(key, line{owner: int8(cpu), sharers: bit})
-			return m.costs.Upgrade
+			return m.costs.Upgrade, FillNone, -1
 		case l.sharers != 0:
 			// Others hold it clean, we do not: read-for-ownership from
 			// memory plus invalidations.
 			st.ColdMisses++
 			m.chargeInvalidations(l.sharers)
 			m.store(key, line{owner: int8(cpu), sharers: bit})
-			return m.costs.MissMemory
+			return m.costs.MissMemory, FillMemory, -1
 		default:
 			st.ColdMisses++
 			m.store(key, line{owner: int8(cpu), sharers: bit})
-			return m.costs.MissMemory
+			return m.costs.MissMemory, FillMemory, -1
 		}
 	}
 
@@ -169,17 +190,18 @@ func (m *Model) Access(cpu int, key uint64, write bool) int64 {
 	switch {
 	case l.owner == int8(cpu), l.owner < 0 && l.sharers&bit != 0:
 		st.Hits++
-		return m.costs.Hit
+		return m.costs.Hit, FillNone, -1
 	case l.owner >= 0:
 		// Dirty in another cache: cache-to-cache transfer, both end shared.
 		st.RemoteMisses++
 		m.OwnerFlips++
+		from := int(l.owner)
 		m.store(key, line{owner: -1, sharers: l.sharers | bit | 1<<uint(l.owner)})
-		return m.costs.MissRemote
+		return m.costs.MissRemote, FillCache, from
 	default:
 		st.ColdMisses++
 		m.store(key, line{owner: -1, sharers: l.sharers | bit})
-		return m.costs.MissMemory
+		return m.costs.MissMemory, FillMemory, -1
 	}
 }
 

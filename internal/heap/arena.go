@@ -2,6 +2,7 @@ package heap
 
 import (
 	"fmt"
+	"reflect"
 
 	"mtmalloc/internal/sim"
 	"mtmalloc/internal/vm"
@@ -52,6 +53,25 @@ type Stats struct {
 	PeakInUse        uint64
 }
 
+// Add accumulates o into s, field by field. The reflection walk is the one
+// summing path the allocator-level Stats aggregation uses: a counter added
+// to this struct is summed automatically, instead of being silently dropped
+// from a hand-written field list (which is exactly what happened to
+// BinInserts/BinRemoves before this existed). Every field must be a uint64
+// counter; Add panics otherwise, so a field of another type cannot slip in
+// unsummed.
+func (s *Stats) Add(o Stats) {
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(o)
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			panic(fmt.Sprintf("heap: Stats field %s is not a uint64 counter; teach Add how to sum it", sv.Type().Field(i).Name))
+		}
+		f.SetUint(f.Uint() + ov.Field(i).Uint())
+	}
+}
+
 // Arena is one heap: a header (bins, binmap, top pointer) plus one or more
 // segments of chunk memory, protected by one mutex. The main arena lives in
 // the brk segment; sub-arenas (ptmalloc's contention-escape mechanism) live
@@ -60,6 +80,12 @@ type Arena struct {
 	Index  int
 	IsMain bool
 	Lock   *sim.Mutex
+	// Node is the NUMA home node of the arena's memory: every segment it
+	// maps is bound there (vm.MmapOnNode), so its chunks are local to the
+	// threads the node-sharded pool routes to it. Node < 0 — the main arena
+	// and every arena predating the sharded pool — means first-touch
+	// placement, the node-blind behaviour.
+	Node int
 
 	as       *vm.AddressSpace
 	params   *Params
@@ -101,6 +127,7 @@ func NewMain(t *sim.Thread, as *vm.AddressSpace, params *Params) (*Arena, error)
 		Index:     0,
 		IsMain:    true,
 		Lock:      as.Machine().NewMutex("arena.0"),
+		Node:      -1,
 		as:        as,
 		params:    params,
 		binStamps: make(map[uint64]binTag),
@@ -118,12 +145,23 @@ func NewMain(t *sim.Thread, as *vm.AddressSpace, params *Params) (*Arena, error)
 	return a, nil
 }
 
-// NewSub creates a ptmalloc-style sub-arena in its own mapping.
+// NewSub creates a ptmalloc-style sub-arena in its own mapping, with
+// first-touch page placement.
 func NewSub(t *sim.Thread, as *vm.AddressSpace, params *Params, index int) (*Arena, error) {
+	return NewSubOnNode(t, as, params, index, -1)
+}
+
+// NewSubOnNode creates a sub-arena whose mappings — the initial one and
+// every later extension segment — are bound to the given NUMA home node
+// (node < 0 keeps first-touch placement, identical to NewSub). The
+// node-sharded arena pool uses it so a shard's chunks are always local to
+// the threads routed there.
+func NewSubOnNode(t *sim.Thread, as *vm.AddressSpace, params *Params, index, node int) (*Arena, error) {
 	a := &Arena{
 		Index:     index,
 		IsMain:    false,
 		Lock:      as.Machine().NewMutex(fmt.Sprintf("arena.%d", index)),
+		Node:      node,
 		as:        as,
 		params:    params,
 		binStamps: make(map[uint64]binTag),
@@ -132,7 +170,7 @@ func NewSub(t *sim.Thread, as *vm.AddressSpace, params *Params, index int) (*Are
 	if initial < 32*vm.PageSize {
 		initial = 32 * vm.PageSize
 	}
-	base, err := as.Mmap(t, initial, fmt.Sprintf("arena.%d", index))
+	base, err := as.MmapOnNode(t, initial, fmt.Sprintf("arena.%d", index), node)
 	if err != nil {
 		return nil, err
 	}
@@ -428,7 +466,7 @@ func (a *Arena) extend(t *sim.Thread, sz uint32) error {
 	} else if mapLen < 64*vm.PageSize {
 		mapLen = 64 * vm.PageSize
 	}
-	base, err := a.as.Mmap(t, mapLen, fmt.Sprintf("arena.%d.seg%d", a.Index, len(a.segments)))
+	base, err := a.as.MmapOnNode(t, mapLen, fmt.Sprintf("arena.%d.seg%d", a.Index, len(a.segments)), a.Node)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrNoMemory, err)
 	}

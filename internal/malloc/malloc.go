@@ -74,6 +74,38 @@
 // post-idle burst keeps its throughput. Stats carries the whole story in
 // the Scavenge* counters plus PagesReleased/Refaults.
 //
+// # The locality model (NUMA node sharding)
+//
+// On a machine with more than one NUMA node (sim.Config.Nodes), the thread
+// cache shards its middle and bottom tiers by node unless NUMANodeBlind
+// opts out:
+//
+//   - the arena pool becomes one shard per node, each capped at the node's
+//     CPU count, its arenas' mappings bound to the node (heap.NewSubOnNode /
+//     vm.MmapOnNode). homeArena routes a thread to its own node's shard, so
+//     a batch refill never carves remote memory while local exists;
+//   - the transfer cache becomes one depot per node: magazine flushes
+//     donate to the flusher's node, misses pull from it;
+//   - frees of chunks owned by another node's arena are NOT parked in the
+//     local magazine (they would be handed back out as remote memory);
+//     they are buffered per class and routed to the owning node's depot in
+//     whole spans, Hoard's remote-free rule, counted in
+//     Stats.RemoteFrees/RemoteBytes. Chunks of unbound arenas (the main
+//     arena) are exempt and park locally;
+//   - the vm reuse cache prefers handing out regions homed on the caller's
+//     node (vm.SetReuseNodeAffinity), falling back to the LIFO pick — a
+//     charged, counted remote hand-out — when no local region is parked;
+//   - the scavenger cascade walks shard by shard: each node's depot flushes
+//     into its own node's arenas and the page-release stages sweep the pool
+//     in node order, so reclamation stays node-local too.
+//
+// The cost side lives in vm (the RemoteAccess multiplier on cross-node
+// faults, memory-served misses and hand-outs, mirrored into Stats as
+// RemoteAccesses/RemoteAccessCycles/RemoteFaults). Experiment D4 compares
+// node-blind and node-sharded placement across 1/2/4-node machines; on one
+// node both configurations are the same single-shard code path and every
+// paper-era number is unchanged.
+//
 // # Shared C library state model
 //
 // The paper measures a ~10% (dual-CPU) to ~20% (quad-CPU) penalty for two
@@ -179,6 +211,14 @@ type CostParams struct {
 	// RefaultCost overrides the vm profile's cost of touching a page the
 	// scavenger released (0 keeps the profile value).
 	RefaultCost int64
+
+	// NUMANodeBlind disables node-aware placement on multi-node machines:
+	// one flat arena pool with first-touch mappings, a single depot, no
+	// remote-free routing and no reuse-cache node preference — exactly the
+	// pre-NUMA thread cache, kept as experiment D4's baseline. On a 1-node
+	// machine the sharded and blind paths are the same code with one shard,
+	// so the flag has no effect there.
+	NUMANodeBlind bool
 }
 
 // DefaultMmapReuseCap is the parked-bytes cap NewThreadCache applies when
@@ -282,8 +322,18 @@ type Stats struct {
 	// Page-residency mirrors from the address space.
 	PagesReleased uint64 // pages handed back by ReleasePages — top trim and binned release (cumulative)
 	Refaults      uint64 // faults on pages the scavenger had released
-	ArenaCount    int
-	Heap          heap.Stats // summed over arenas
+	// NUMA counters (all zero on 1-node machines).
+	RemoteFrees uint64 // frees of chunks owned by another node's arena (routed home, Hoard-style)
+	RemoteBytes uint64 // bytes those remote frees covered
+	// Remote-access mirrors from the address space: the cross-node events
+	// (faults, refaults, memory misses, reuse hand-outs), the extra cycles
+	// they paid — the currency experiment D4 compares placements in — and
+	// the fault subset.
+	RemoteAccesses     uint64
+	RemoteAccessCycles uint64
+	RemoteFaults       uint64
+	ArenaCount         int
+	Heap               heap.Stats // summed over arenas
 }
 
 // Allocator is the public allocator interface: the system malloc/free pair
@@ -426,40 +476,34 @@ func (b *base) freeIfMmapped(t *sim.Thread, mem uint64) (bool, error) {
 	return false, nil
 }
 
-// sumStats collects allocator- and arena-level statistics.
+// sumStats collects allocator- and arena-level statistics. The vm mirrors
+// and the arena sums each go through one path — mirrorVMStats and
+// heap.Stats.Add — so a counter added to either layer cannot be silently
+// dropped from the allocator-level aggregate (the fate of the pre-Add
+// hand-written field list).
 func (b *base) sumStats() Stats {
 	s := b.stats
 	s.ArenaCount = len(b.arenas)
-	vs := b.as.Stats()
+	mirrorVMStats(&s, b.as.Stats())
+	for _, a := range b.arenas {
+		s.ArenaLockAcqs += a.Lock.Acquisitions
+		s.Heap.Add(a.Stats())
+	}
+	return s
+}
+
+// mirrorVMStats copies the address-space counters that Stats re-exports at
+// the allocator level: the reuse-cache tier, page residency, and the
+// cross-node access charges.
+func mirrorVMStats(s *Stats, vs vm.Stats) {
 	s.MmapReuses = vs.MmapReuses
 	s.MmapReuseBytes = vs.MmapReuseBytes
 	s.MmapReuseParked = vs.MmapReuseParked
 	s.PagesReleased = vs.PagesReleased
 	s.Refaults = vs.Refaults
-	for _, a := range b.arenas {
-		s.ArenaLockAcqs += a.Lock.Acquisitions
-		as := a.Stats()
-		s.Heap.Mallocs += as.Mallocs
-		s.Heap.Frees += as.Frees
-		s.Heap.BinHits += as.BinHits
-		s.Heap.BinScans += as.BinScans
-		s.Heap.TopAllocs += as.TopAllocs
-		s.Heap.Splits += as.Splits
-		s.Heap.Coalesces += as.Coalesces
-		s.Heap.Extends += as.Extends
-		s.Heap.Trims += as.Trims
-		s.Heap.MmapChunks += as.MmapChunks
-		s.Heap.MunmapChunks += as.MunmapChunks
-		s.Heap.GrowsInPlace += as.GrowsInPlace
-		s.Heap.BytesCopied += as.BytesCopied
-		s.Heap.TopReleases += as.TopReleases
-		s.Heap.BytesReleased += as.BytesReleased
-		s.Heap.BinReleases += as.BinReleases
-		s.Heap.BinBytesReleased += as.BinBytesReleased
-		s.Heap.BytesInUse += as.BytesInUse
-		s.Heap.PeakInUse += as.PeakInUse
-	}
-	return s
+	s.RemoteAccesses = vs.RemoteAccesses
+	s.RemoteAccessCycles = vs.RemoteAccessCycles
+	s.RemoteFaults = vs.RemoteFaults
 }
 
 // reallocOn implements realloc for a variant: al provides the Malloc/Free

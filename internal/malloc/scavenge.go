@@ -60,6 +60,18 @@ func (s magazineSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent in
 		}
 		for _, csz := range sortedKeys(c.classes) {
 			cl := c.classes[csz]
+			// A pending remote buffer in an idle cache flushes whole: it is
+			// memory in transit to another node, not a working set worth
+			// decaying gently, and its owner has stopped pushing it home.
+			if len(cl.remote) > 0 {
+				n := len(cl.remote)
+				if err := tc.flush(t, cl.remote); err != nil {
+					panic("malloc: scavenging remote buffer: " + err.Error())
+				}
+				cl.remote = nil
+				tc.stats.ScavengeMagChunks += uint64(n)
+				released += uint64(n) * uint64(cl.csz)
+			}
 			if len(cl.entries) == 0 {
 				continue
 			}
@@ -89,27 +101,33 @@ func (s magazineSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent in
 // depotSource returns cold depot spans to the owning arenas: any class that
 // has not exchanged a span since the cutoff sheds decayPercent of its spans
 // per epoch, freed chunk by chunk under the arena locks (one acquisition per
-// arena, via the same sorted flush the magazines use).
+// arena, via the same sorted flush the magazines use). On a sharded pool the
+// per-node depots are swept in node order, each flushing into its own
+// node's arenas, so decay stays node-local.
 type depotSource struct{ tc *ThreadCache }
 
 func (s depotSource) Name() string { return "depot" }
 
 func (s depotSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) uint64 {
 	tc := s.tc
-	spans, chunks, bytes := tc.depot.scavenge(t, cutoff, decayPercent)
-	if len(spans) == 0 {
-		return 0
+	total := uint64(0)
+	for _, depot := range tc.depots {
+		spans, chunks, bytes := depot.scavenge(t, cutoff, decayPercent)
+		if len(spans) == 0 {
+			continue
+		}
+		victims := make([]tcEntry, 0, chunks)
+		for _, span := range spans {
+			victims = append(victims, span...)
+		}
+		if err := tc.flush(t, victims); err != nil {
+			panic("malloc: scavenging depot spans: " + err.Error())
+		}
+		tc.stats.ScavengeDepotSpans += uint64(len(spans))
+		tc.stats.ScavengeDepotChunks += uint64(chunks)
+		total += bytes
 	}
-	victims := make([]tcEntry, 0, chunks)
-	for _, span := range spans {
-		victims = append(victims, span...)
-	}
-	if err := tc.flush(t, victims); err != nil {
-		panic("malloc: scavenging depot spans: " + err.Error())
-	}
-	tc.stats.ScavengeDepotSpans += uint64(len(spans))
-	tc.stats.ScavengeDepotChunks += uint64(chunks)
-	return bytes
+	return total
 }
 
 // arenaPageSource is the PageHeap-style stage between the depot and the
@@ -141,15 +159,25 @@ func (s arenaPageSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent i
 // malloc-family operation since cutoff and sums the bytes fn releases. It is
 // the one copy of the page-release stages' skip-busy policy: trimming or
 // madvising a mid-burst arena only forces the next carve-out to refault.
+// The walk goes shard by shard (node order, creation order within a shard)
+// and then over any arenas outside the pool, so page release stays grouped
+// by node on a sharded pool; on the flat single-shard pool this is exactly
+// the old creation-order walk.
 func (tc *ThreadCache) forEachIdleArena(t *sim.Thread, cutoff sim.Time, fn func(*heap.Arena) uint64) uint64 {
+	// Every arena is in exactly one shard: newBase's main arena sits in
+	// shard 0 and growPool appends to both lists, so the shard walk covers
+	// the pool completely (and IS the flat creation-order walk when there
+	// is a single shard).
 	released := uint64(0)
-	for _, a := range tc.arenas {
-		if a.LastOp() >= cutoff {
-			continue
+	for _, sh := range tc.shards {
+		for _, a := range sh.arenas {
+			if a.LastOp() >= cutoff {
+				continue
+			}
+			t.Lock(a.Lock)
+			released += fn(a)
+			t.Unlock(a.Lock)
 		}
-		t.Lock(a.Lock)
-		released += fn(a)
-		t.Unlock(a.Lock)
 	}
 	return released
 }
@@ -213,7 +241,7 @@ func (tc *ThreadCache) newScavenger(costs CostParams) *scavenge.Scavenger {
 		Work:         costs.ScavengeWork,
 	})
 	sc.Register(magazineSource{tc})
-	if tc.depot != nil {
+	if len(tc.depots) > 0 {
 		sc.Register(depotSource{tc})
 	}
 	if tc.minBinBytes > 0 {

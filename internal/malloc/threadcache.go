@@ -3,6 +3,7 @@ package malloc
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"mtmalloc/internal/heap"
@@ -32,6 +33,24 @@ import (
 //     home arenas round-robin), so T threads cost min(T, CPUs) arenas
 //     instead of PerThread's T.
 //
+// On a multi-node machine the pool and the depot are sharded by NUMA node
+// (unless NUMANodeBlind opts out):
+//
+//   - each node owns a shard of the arena pool, capped at that node's CPU
+//     count, whose arenas' mappings are bound to the node
+//     (heap.NewSubOnNode) — homeArena routes a thread to its own node's
+//     shard, so a refill never carves remote memory while local exists;
+//   - each node owns a depot: flushes donate to the flusher's node, misses
+//     pull from it, so a magazine miss never pulls a remote span while
+//     local ones exist;
+//   - a free of a chunk owned by another node's arena — the cross-node
+//     traffic benchmark 2's producer/consumer chains generate — is not
+//     parked in the local magazine (it would be handed back out to a local
+//     thread, pinning remote memory into the hot path). It is buffered per
+//     class and routed back to the owning node's depot in whole spans,
+//     Hoard-style, counted in Stats.RemoteFrees/RemoteBytes; the owning
+//     node's threads reuse it locally.
+//
 // Cached chunks — magazine or depot — look allocated from the arena's point
 // of view, so every structural invariant Check() enforces keeps holding; the
 // price is that parked chunks cannot coalesce until they are flushed.
@@ -39,12 +58,14 @@ type ThreadCache struct {
 	*base
 	caches map[int]*tcache
 
-	// depot is the central transfer cache, nil when disabled (DepotCap < 0).
-	depot *transferCache
+	// depots are the central transfer caches, one per node shard (a single
+	// entry on flat or node-blind machines); nil when disabled (DepotCap<0).
+	depots []*transferCache
 
-	// nextHome hands out home arenas round-robin across the pool.
-	nextHome int
-	poolCap  int
+	// shards is the node-sharded arena pool; a single shard with node -1
+	// covers the whole machine when flat or node-blind.
+	shards    []*poolShard
+	nodeBlind bool
 
 	batch     int
 	highWater int
@@ -76,11 +97,28 @@ type tcEntry struct {
 	arena *heap.Arena
 }
 
+// poolShard is one NUMA node's slice of the arena pool: its arenas (created
+// lazily, mapped on the shard's node), the round-robin cursor handing out
+// home arenas, and the per-shard cap (the node's CPU count). A flat or
+// node-blind machine has exactly one shard with node -1, which reduces to
+// the original CPU-capped pool.
+type poolShard struct {
+	node   int
+	arenas []*heap.Arena
+	next   int
+	cap    int
+}
+
 // tcClass is one exact-chunk-size free list in a thread's cache (LIFO),
 // plus its adaptive high-water state.
 type tcClass struct {
 	csz     uint32
 	entries []tcEntry
+	// remote buffers frees of chunks owned by another node's arenas; they
+	// are never handed back out of this magazine, only routed home to the
+	// owning node's depot (or arenas) in whole spans once a batch gathers.
+	// Always empty on flat or node-blind machines.
+	remote []tcEntry
 	// mark is the class's current high-water mark; fixed at CacheHigh when
 	// adaptive sizing is off, otherwise slow-started at one batch.
 	mark int
@@ -172,31 +210,81 @@ func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, cost
 	if err != nil {
 		return nil, err
 	}
-	cap := as.Machine().Config().CPUs
-	if cap < 1 {
-		cap = 1
+	cpus := as.Machine().Config().CPUs
+	if cpus < 1 {
+		cpus = 1
 	}
 	tc := &ThreadCache{
 		base:       b,
 		caches:     make(map[int]*tcache),
-		poolCap:    cap,
 		batch:      costs.CacheBatch,
 		highWater:  costs.CacheHigh,
 		maxBlock:   costs.CacheMax,
 		adaptive:   costs.CacheAdaptive >= 0,
 		growStreak: costs.CacheGrowStreak,
 	}
+	// Shard the pool by node unless the machine is flat or the profile asked
+	// for the node-blind baseline. The single-shard case is the original
+	// CPU-capped pool: one shard, node -1 (first-touch mappings), the main
+	// arena as slot 0.
+	nodes := as.Machine().Nodes()
+	tc.nodeBlind = costs.NUMANodeBlind || nodes <= 1
+	if tc.nodeBlind {
+		tc.shards = []*poolShard{{node: -1, arenas: []*heap.Arena{b.arenas[0]}, cap: cpus}}
+	} else {
+		per := (cpus + nodes - 1) / nodes
+		for n := 0; n < nodes; n++ {
+			sh := &poolShard{node: n, cap: per}
+			if n == 0 {
+				// The main arena (brk segment, first-touch) serves as node
+				// 0's first slot, as it did for the flat pool.
+				sh.arenas = []*heap.Arena{b.arenas[0]}
+			}
+			tc.shards = append(tc.shards, sh)
+		}
+		as.SetReuseNodeAffinity(true)
+	}
 	if costs.DepotCap > 0 {
 		capBytes := costs.DepotCapBytes
 		if capBytes < 0 {
 			capBytes = 0 // legacy span-count cap
 		}
-		tc.depot = newTransferCache(as.Machine(), b.name, costs.DepotCap, capBytes, costs.DepotXfer, &b.stats)
+		for range tc.shards {
+			name := b.name
+			if len(tc.shards) > 1 {
+				name = fmt.Sprintf("%s.n%d", b.name, len(tc.depots))
+			}
+			tc.depots = append(tc.depots, newTransferCache(as.Machine(), name, costs.DepotCap, capBytes, costs.DepotXfer, &b.stats))
+		}
 	}
 	if costs.ScavengeInterval > 0 {
 		tc.scav = tc.newScavenger(costs)
 	}
 	return tc, nil
+}
+
+// sharded reports whether placement is node-aware (more than one shard).
+func (tc *ThreadCache) sharded() bool { return len(tc.shards) > 1 }
+
+// shardOf returns the shard serving the calling thread: its node's on a
+// sharded pool, the single flat shard otherwise.
+func (tc *ThreadCache) shardOf(t *sim.Thread) *poolShard {
+	if !tc.sharded() {
+		return tc.shards[0]
+	}
+	return tc.shards[t.Node()]
+}
+
+// depotFor returns the depot of the given node (the single depot when the
+// pool is flat or node-blind), nil when the depot tier is disabled.
+func (tc *ThreadCache) depotFor(node int) *transferCache {
+	if len(tc.depots) == 0 {
+		return nil
+	}
+	if node < 0 || node >= len(tc.depots) {
+		node = 0
+	}
+	return tc.depots[node]
 }
 
 // cacheOf returns (creating if needed) the calling thread's cache. Creation
@@ -213,19 +301,21 @@ func (tc *ThreadCache) cacheOf(t *sim.Thread) *tcache {
 }
 
 // homeArena returns (assigning if needed) the thread's home arena. Threads
-// map onto the pool round-robin; pool slots are created lazily under the
-// list lock.
+// map round-robin onto their node's shard of the pool; shard slots are
+// created lazily under the list lock, with their mappings bound to the
+// shard's node.
 func (tc *ThreadCache) homeArena(t *sim.Thread, c *tcache) (*heap.Arena, error) {
 	if c.home != nil {
 		return c.home, nil
 	}
-	idx := tc.nextHome % tc.poolCap
-	tc.nextHome++
-	if idx < len(tc.arenas) {
-		c.home = tc.arenas[idx]
+	sh := tc.shardOf(t)
+	idx := sh.next % sh.cap
+	sh.next++
+	if idx < len(sh.arenas) {
+		c.home = sh.arenas[idx]
 		return c.home, nil
 	}
-	a, err := tc.growPool(t)
+	a, err := tc.growPool(t, sh)
 	if err != nil {
 		return nil, err
 	}
@@ -233,15 +323,18 @@ func (tc *ThreadCache) homeArena(t *sim.Thread, c *tcache) (*heap.Arena, error) 
 	return a, nil
 }
 
-// growPool appends a fresh sub-arena under the list lock.
-func (tc *ThreadCache) growPool(t *sim.Thread) (*heap.Arena, error) {
+// growPool appends a fresh sub-arena to the shard under the list lock. The
+// arena joins both the shard (for placement) and the flat arena list (the
+// routing and stats registry).
+func (tc *ThreadCache) growPool(t *sim.Thread, sh *poolShard) (*heap.Arena, error) {
 	t.Lock(tc.listLock)
-	a, err := heap.NewSub(t, tc.as, &tc.params, len(tc.arenas))
+	a, err := heap.NewSubOnNode(t, tc.as, &tc.params, len(tc.arenas), sh.node)
 	if err != nil {
 		t.Unlock(tc.listLock)
 		return nil, fmt.Errorf("malloc: creating pool arena: %w", err)
 	}
 	tc.arenas = append(tc.arenas, a)
+	sh.arenas = append(sh.arenas, a)
 	tc.stats.ArenaCreations++
 	t.Unlock(tc.listLock)
 	return a, nil
@@ -269,10 +362,11 @@ func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 			return e.mem, nil
 		}
 		tc.stats.CacheMisses++
-		// Tier 2: one span from the transfer cache costs a class lock and
-		// DepotXfer cycles — no arena lock, no per-chunk malloc work.
-		if tc.depot != nil {
-			if span, ok := tc.depot.get(t, sz); ok {
+		// Tier 2: one span from the caller's node's transfer cache costs a
+		// class lock and DepotXfer cycles — no arena lock, no per-chunk
+		// malloc work, and never a remote span while local ones exist.
+		if depot := tc.depotFor(t.Node()); depot != nil {
+			if span, ok := depot.get(t, sz); ok {
 				cl := tc.classOf(c, sz)
 				cl.streak = 0
 				e := span[len(span)-1]
@@ -329,10 +423,11 @@ func (tc *ThreadCache) arenaBatch(t *sim.Thread, c *tcache, req uint32, extra in
 		if !errors.Is(merr, heap.ErrArenaFull) || try >= 1 {
 			return 0, merr
 		}
-		// Home arena at its size cap: migrate to another pool arena with
-		// room before growing the pool (single chunk, no batch — the next
-		// miss refills from the new home).
-		for _, b := range tc.arenas {
+		// Home arena at its size cap: migrate to another arena of the same
+		// shard with room before growing the shard (single chunk, no batch —
+		// the next miss refills from the new home).
+		sh := tc.shardOf(t)
+		for _, b := range sh.arenas {
 			if b == a {
 				continue
 			}
@@ -345,11 +440,27 @@ func (tc *ThreadCache) arenaBatch(t *sim.Thread, c *tcache, req uint32, extra in
 				return mem, nil
 			}
 		}
-		a, err = tc.growPool(t)
-		if err != nil {
-			return 0, fmt.Errorf("malloc: no arena can satisfy %d bytes: %w", req, err)
+		a, err = tc.growPool(t, sh)
+		if err == nil {
+			c.home = a
+			continue
 		}
-		c.home = a
+		// The shard cannot grow (address space exhausted): fall back to any
+		// arena on the machine — remote memory beats failure. Only reachable
+		// on a sharded pool; the flat shard already swept everything.
+		for _, b := range tc.arenas {
+			if b == a || slices.Contains(sh.arenas, b) {
+				continue
+			}
+			t.Lock(b.Lock)
+			mem, err2 := b.Malloc(t, req)
+			t.Unlock(b.Lock)
+			if err2 == nil {
+				tc.lastArena[t.ID()] = b
+				return mem, nil
+			}
+		}
+		return 0, fmt.Errorf("malloc: no arena can satisfy %d bytes: %w", req, err)
 	}
 }
 
@@ -377,6 +488,21 @@ func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 			tc.stats.CrossArenaFrees++
 		}
 		cl := tc.classOf(c, csz)
+		// A chunk owned by another node's arena must not re-enter the local
+		// hot path: buffer it and route it back to the owning node's depot
+		// in whole spans (Hoard's remote free), where that node's threads
+		// reuse it as local memory.
+		if tc.sharded() && a.Node >= 0 && a.Node != t.Node() {
+			tc.stats.RemoteFrees++
+			tc.stats.RemoteBytes += uint64(csz)
+			cl.remote = append(cl.remote, tcEntry{mem, a})
+			if len(cl.remote) >= tc.batch {
+				victims := cl.remote
+				cl.remote = nil
+				return tc.release(t, csz, victims)
+			}
+			return nil
+		}
 		cl.entries = append(cl.entries, tcEntry{mem, a})
 		if len(cl.entries) > cl.mark {
 			return tc.flushClass(t, cl)
@@ -424,7 +550,7 @@ func (tc *ThreadCache) flushClass(t *sim.Thread, cl *tcClass) error {
 	// parked instead of wasting a depot slot (and a later full exchange) on
 	// a tiny span. Releases no larger than one batch go out as-is, so a
 	// flush always relieves pressure.
-	if tc.depot != nil && n > tc.batch {
+	if len(tc.depots) > 0 && n > tc.batch {
 		n -= n % tc.batch
 	}
 	err := tc.release(t, cl.csz, cl.entries[:n])
@@ -447,11 +573,18 @@ func (tc *ThreadCache) flushClass(t *sim.Thread, cl *tcClass) error {
 // CacheBatch chunks are donated to the transfer cache (a trailing partial
 // span included — detach must empty the magazine), and whatever the depot
 // refuses — or everything, when it is disabled — is freed into the owning
-// arenas. Donated spans are copies, but the arena fallback reorders victims
-// in place; the slice holds nothing of value once release returns, and the
-// caller may reuse its backing storage.
+// arenas. On a sharded pool each span is donated to the depot of the node
+// owning its chunks, so remote frees land where their memory lives and a
+// full depot on one node never blocks donations to another. Donated spans
+// are copies, but the arena fallback reorders victims in place; the slice
+// holds nothing of value once release returns, and the caller may reuse its
+// backing storage.
 func (tc *ThreadCache) release(t *sim.Thread, csz uint32, victims []tcEntry) error {
-	if tc.depot != nil {
+	if len(tc.depots) == 0 {
+		return tc.flush(t, victims)
+	}
+	if !tc.sharded() {
+		depot := tc.depots[0]
 		for len(victims) > 0 {
 			sn := tc.batch
 			if sn > len(victims) {
@@ -459,13 +592,55 @@ func (tc *ThreadCache) release(t *sim.Thread, csz uint32, victims []tcEntry) err
 			}
 			span := make([]tcEntry, sn)
 			copy(span, victims[:sn])
-			if !tc.depot.put(t, csz, span) {
+			if !depot.put(t, csz, span) {
 				break
 			}
 			victims = victims[sn:]
 		}
+		return tc.flush(t, victims)
 	}
-	return tc.flush(t, victims)
+	// Group victims by owning node (stable, so LIFO order survives within a
+	// node), then donate each node's run as spans to that node's depot.
+	// Unbound arenas (the main arena) count as node 0. Refusals fall into
+	// one combined arena flush.
+	sort.SliceStable(victims, func(i, j int) bool {
+		return tc.nodeOfArena(victims[i].arena) < tc.nodeOfArena(victims[j].arena)
+	})
+	var leftovers []tcEntry
+	i := 0
+	for i < len(victims) {
+		node := tc.nodeOfArena(victims[i].arena)
+		j := i
+		for j < len(victims) && tc.nodeOfArena(victims[j].arena) == node {
+			j++
+		}
+		run := victims[i:j]
+		depot := tc.depotFor(node)
+		for len(run) > 0 {
+			sn := tc.batch
+			if sn > len(run) {
+				sn = len(run)
+			}
+			span := make([]tcEntry, sn)
+			copy(span, run[:sn])
+			if !depot.put(t, csz, span) {
+				leftovers = append(leftovers, run...)
+				break
+			}
+			run = run[sn:]
+		}
+		i = j
+	}
+	return tc.flush(t, leftovers)
+}
+
+// nodeOfArena maps an arena to the shard node its chunks live on (unbound
+// arenas — the main arena — count as node 0).
+func (tc *ThreadCache) nodeOfArena(a *heap.Arena) int {
+	if a.Node < 0 {
+		return 0
+	}
+	return a.Node
 }
 
 // flush frees victims into their owning arenas. Victims are pre-sorted by
@@ -511,6 +686,14 @@ func (tc *ThreadCache) DetachThread(t *sim.Thread) {
 				panic(fmt.Sprintf("malloc: thread-cache release on detach: %v", err))
 			}
 			cl.entries = nil
+			if len(cl.remote) > 0 {
+				// Pending remote frees go home with the magazine: release
+				// routes them to their owning nodes' depots.
+				if err := tc.release(t, csz, cl.remote); err != nil {
+					panic(fmt.Sprintf("malloc: remote-buffer release on detach: %v", err))
+				}
+				cl.remote = nil
+			}
 		}
 		delete(tc.caches, t.ID())
 	}
@@ -538,13 +721,13 @@ func (tc *ThreadCache) Stats() Stats {
 	s.Heap.Frees = tc.userFrees
 	for _, c := range tc.caches {
 		for _, cl := range c.classes {
-			s.CachedChunks += len(cl.entries)
-			s.CachedBytes += uint64(len(cl.entries)) * uint64(cl.csz)
+			s.CachedChunks += len(cl.entries) + len(cl.remote)
+			s.CachedBytes += uint64(len(cl.entries)+len(cl.remote)) * uint64(cl.csz)
 		}
 	}
-	if tc.depot != nil {
-		s.DepotChunks = tc.depot.chunkCount()
-		s.DepotBytes = tc.depot.byteCount()
+	for _, depot := range tc.depots {
+		s.DepotChunks += depot.chunkCount()
+		s.DepotBytes += depot.byteCount()
 	}
 	if tc.scav != nil {
 		sc := tc.scav.Stats()
@@ -572,19 +755,33 @@ func (tc *ThreadCache) Check() error {
 	seen := make(map[uint64]bool)
 	for tid, c := range tc.caches {
 		for _, cl := range c.classes {
-			for _, e := range cl.entries {
-				if seen[e.mem] {
-					return fmt.Errorf("malloc: chunk 0x%x cached twice", e.mem)
+			for _, list := range [][]tcEntry{cl.entries, cl.remote} {
+				for _, e := range list {
+					if seen[e.mem] {
+						return fmt.Errorf("malloc: chunk 0x%x cached twice", e.mem)
+					}
+					seen[e.mem] = true
+					if !e.arena.Contains(e.mem - heap.HeaderSz) {
+						return fmt.Errorf("malloc: thread %d cached 0x%x outside arena %d", tid, e.mem, e.arena.Index)
+					}
 				}
-				seen[e.mem] = true
-				if !e.arena.Contains(e.mem - heap.HeaderSz) {
-					return fmt.Errorf("malloc: thread %d cached 0x%x outside arena %d", tid, e.mem, e.arena.Index)
+			}
+			// A remote buffer must only ever hold chunks owned away from the
+			// pool shards' local arenas; on a sharded pool every buffered
+			// entry's arena is node-bound by construction.
+			if tc.sharded() {
+				for _, e := range cl.remote {
+					if e.arena.Node < 0 {
+						return fmt.Errorf("malloc: remote buffer holds 0x%x from unbound arena %d", e.mem, e.arena.Index)
+					}
 				}
 			}
 		}
 	}
-	if tc.depot != nil {
-		return tc.depot.check(seen)
+	for _, depot := range tc.depots {
+		if err := depot.check(seen); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -149,7 +149,7 @@ func TestFlushSortsCrossArenaVictims(t *testing.T) {
 			return
 		}
 		a0 := tc.arenas[0]
-		a1, err := tc.growPool(main)
+		a1, err := tc.growPool(main, tc.shards[0])
 		if err != nil {
 			t.Errorf("growPool: %v", err)
 			return
@@ -323,7 +323,7 @@ func TestDepotByteCapAdmitsSmallSpans(t *testing.T) {
 		csz := al.arenas[0].ChunkSizeOf(main, alloc().mem)
 		for i := 0; i < 8; i++ {
 			span := []tcEntry{alloc(), alloc()}
-			if !al.depot.put(main, csz, span) {
+			if !al.depots[0].put(main, csz, span) {
 				t.Fatalf("byte-capped depot refused small span %d", i)
 			}
 		}
@@ -335,13 +335,13 @@ func TestDepotByteCapAdmitsSmallSpans(t *testing.T) {
 		for i := 0; i < 100; i++ {
 			big = append(big, alloc())
 		}
-		if al.depot.put(main, csz, big) {
+		if al.depots[0].put(main, csz, big) {
 			t.Error("7.2KB span accepted on top of 2.3KB parked against an 8KB cap")
 		}
 		if got := al.Stats().DepotOverflows; got != 1 {
 			t.Errorf("overflows = %d after the oversized donation, want 1", got)
 		}
-		if got := al.depot.byteCount(); got > 8192 {
+		if got := al.depots[0].byteCount(); got > 8192 {
 			t.Errorf("depot holds %d bytes, cap 8192", got)
 		}
 	})

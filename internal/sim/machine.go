@@ -32,6 +32,16 @@ type Costs struct {
 	// SpawnJitter randomizes child start times by [0, SpawnJitter) cycles so
 	// that repeated runs explore different interleavings, like real runs do.
 	SpawnJitter Time
+	// RemoteAccess is the NUMA remote-access multiplier: memory-level costs
+	// (page faults, refaults, data-carrying cache fills, reuse hand-outs)
+	// that cross a node boundary are scaled by it. Values at or below 1 —
+	// including the zero value — price the interconnect as free: cross-node
+	// events are still counted on a multi-node machine, they just charge
+	// nothing extra. Typical small NUMA interconnects sit around 1.5-3x.
+	// The multiplier is consumed by the vm layer, which knows page homes;
+	// it lives here because it is a property of the machine, not of one
+	// address space.
+	RemoteAccess float64
 }
 
 // DefaultCosts returns a reasonable late-1990s SMP cost model. Profiles in
@@ -56,6 +66,14 @@ type Config struct {
 	ClockMHz float64
 	Costs    Costs
 	Seed     uint64
+
+	// Nodes is the number of NUMA nodes the CPUs are spread over. CPUs map
+	// onto nodes in contiguous blocks (CPU c lives on node c/(CPUs/Nodes),
+	// the layout of every small NUMA box of the era). 0 or 1 models the flat
+	// SMPs the paper measured; the node of a memory page and the cost of
+	// touching it from the wrong node are tracked by the vm layer using
+	// NodeOfCPU and Costs.RemoteAccess.
+	Nodes int
 
 	// BatchOps and BatchCycles bound how much work a thread does between
 	// yields; they set the engine's interleaving granularity.
@@ -89,6 +107,12 @@ func (c Config) withDefaults() Config {
 	if c.Quantum == 0 {
 		// ~20ms at 500MHz; Linux 2.2-era timeslices were tens of ms.
 		c.Quantum = 10000000
+	}
+	if c.Nodes < 1 {
+		c.Nodes = 1
+	}
+	if c.Nodes > c.CPUs {
+		c.Nodes = c.CPUs
 	}
 	return c
 }
@@ -152,6 +176,33 @@ func NewMachine(cfg Config) *Machine {
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Nodes returns the machine's NUMA node count (1 for a flat SMP).
+func (m *Machine) Nodes() int { return m.cfg.Nodes }
+
+// NodeOfCPU returns the NUMA node CPU cpu belongs to. CPUs map onto nodes
+// in contiguous blocks; negative CPU indices (a thread never dispatched)
+// report node 0.
+func (m *Machine) NodeOfCPU(cpu int) int {
+	if m.cfg.Nodes <= 1 || cpu < 0 {
+		return 0
+	}
+	per := (m.cfg.CPUs + m.cfg.Nodes - 1) / m.cfg.Nodes
+	n := cpu / per
+	if n >= m.cfg.Nodes {
+		n = m.cfg.Nodes - 1
+	}
+	return n
+}
+
+// RemoteMultiplier returns the configured cross-node access multiplier,
+// normalized so flat machines (zero or sub-1 values) report exactly 1.
+func (m *Machine) RemoteMultiplier() float64 {
+	if m.cfg.Costs.RemoteAccess <= 1 {
+		return 1
+	}
+	return m.cfg.Costs.RemoteAccess
+}
 
 // Seconds converts cycles to seconds at the machine's clock rate.
 func (m *Machine) Seconds(c Time) float64 {

@@ -79,6 +79,12 @@ func (t *Thread) Now() Time { return t.clock }
 // CPU returns the CPU index the thread last ran on.
 func (t *Thread) CPU() int { return t.lastCPU }
 
+// Node returns the NUMA node of the CPU the thread last ran on (node 0
+// before its first dispatch). It is derived from CPU affinity, not pinned:
+// a thread the scheduler migrates across a node boundary starts touching
+// memory from its new node, exactly as on real hardware.
+func (t *Thread) Node() int { return t.machine.NodeOfCPU(t.lastCPU) }
+
 // RNG returns the thread's private deterministic random stream.
 func (t *Thread) RNG() *xrand.RNG { return t.rng }
 

@@ -14,6 +14,19 @@
 // "busy until" horizon instead of a full interval set, critical sections
 // never span yield points, and involuntary preemption is modelled by
 // periodic quantum draws rather than by interrupting user code.
+//
+// # Node topology
+//
+// A machine may declare a NUMA topology: Config.Nodes splits the CPUs into
+// contiguous equal blocks (Machine.NodeOfCPU), and a thread's node is
+// derived from the CPU it last ran on (Thread.Node) — affinity, not
+// pinning, exactly as on real hardware, so a migrated thread starts
+// touching memory from its new node. The engine itself charges nothing for
+// node distance; Costs.RemoteAccess is the multiplier the vm layer applies
+// to memory-level costs (faults, refaults, memory-served misses, reuse
+// hand-outs) that cross nodes, because only the vm layer knows where a
+// page lives. With the default single node the topology machinery is
+// entirely inert and the flat-SMP model of the paper is unchanged.
 package sim
 
 // Time is a point or duration in simulated CPU cycles. All costs in the

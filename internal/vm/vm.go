@@ -17,6 +17,36 @@
 // next touched. Residency is observable through Stats (PagesPresent,
 // ResidentBytes, PagesReleased, Refaults), which is what experiment D3's
 // footprint time series plots.
+//
+// # The locality model
+//
+// On a machine with more than one NUMA node (sim.Config.Nodes), every
+// resident page has a home node. Pages of ordinary mappings are homed by
+// first touch — the faulting thread's node, Linux's default placement —
+// while a mapping created with MmapOnNode is bound to a node (mbind
+// semantics) and its pages are homed there no matter who faults them in. A
+// released page loses its home with its frame and is re-homed when it
+// refaults. Three kinds of events are counted in
+// Stats.RemoteAccesses/RemoteAccessCycles when they cross nodes, and
+// charged the machine's Costs.RemoteAccess multiplier (a multiplier at or
+// below 1 prices the interconnect as free — counted, nothing extra
+// charged):
+//
+//   - first-touch faults and refaults against a page homed away from the
+//     faulting thread's node (only possible for bound mappings);
+//   - data-carrying fills that cross a node boundary: a memory-served miss
+//     against a page homed on another node, or a cache-to-cache transfer
+//     supplied by a CPU on another node (hits and upgrades stay local — no
+//     data moved);
+//   - reuse-cache hand-outs of a region whose pages are homed on another
+//     node (the hand-out itself is cheap, but it is the event placement
+//     policy can avoid, so it is counted and charged).
+//
+// The reuse cache remembers each parked region's home node and, when
+// SetReuseNodeAffinity is on, prefers handing a caller a region homed on
+// its own node — the vm half of the allocator's node-sharded placement.
+// On a 1-node machine none of this machinery runs and every cost is
+// exactly the flat-SMP model the paper calibrates.
 package vm
 
 import (
@@ -71,11 +101,14 @@ func (k Kind) String() string {
 	return "?"
 }
 
-// VMA is one mapped region [Start, End).
+// VMA is one mapped region [Start, End). Node is the NUMA node the mapping
+// is bound to (mbind semantics): pages fault in homed there regardless of
+// the toucher. Node < 0 — the common case — means first-touch placement.
 type VMA struct {
 	Start, End uint64
 	Kind       Kind
 	Name       string
+	Node       int
 }
 
 // Costs is the VM-level cycle cost model.
@@ -120,6 +153,14 @@ type Stats struct {
 	MmapReuseEvicts  uint64 // parked regions munmapped to honour the cap
 	MmapReuseExpired uint64 // parked regions munmapped by the scavenger's age sweep
 	MmapReuseParked  uint64 // bytes parked right now (still counted as RSS)
+	// NUMA locality counters (all zero on a 1-node machine).
+	RemoteAccesses     uint64 // cross-node charged events: faults, refaults, memory misses, reuse hand-outs
+	RemoteAccessCycles uint64 // extra cycles those events paid over the local cost
+	RemoteFaults       uint64 // subset of RemoteAccesses that were first-touch faults or refaults
+	ReuseRemoteHands   uint64 // reuse-cache regions handed to a thread on another node
+	// NodeResidentBytes is the resident footprint broken down by home node
+	// (nil on a 1-node machine, where ResidentBytes is the whole story).
+	NodeResidentBytes []uint64
 }
 
 // Fault is panicked (and surfaced as a machine error) on an access outside
@@ -149,6 +190,19 @@ type AddressSpace struct {
 	// released marks pages ReleasePages handed back to the kernel while their
 	// VMA stayed mapped: the next touch is a refault, not a first touch.
 	released map[uint64]bool
+	// pageNode records each resident page's home node (first-touch or VMA
+	// binding). Only maintained on multi-node machines; see the package
+	// comment's locality model.
+	pageNode map[uint64]int8
+	// numaOn caches whether the machine has more than one node (events are
+	// counted whenever they cross nodes); remoteMult caches the cross-node
+	// multiplier that prices them (1 = free interconnect, nothing extra
+	// charged but still counted).
+	numaOn     bool
+	remoteMult float64
+	// reuseNodeAffinity makes MmapFromReuse prefer regions homed on the
+	// caller's node (the node-sharded allocator turns it on).
+	reuseNodeAffinity bool
 	// one-entry page lookup cache: allocator loops touch few pages.
 	lastIdx  uint64
 	lastPage []byte
@@ -181,6 +235,7 @@ type reuseRegion struct {
 	addr, length uint64
 	seq          uint64   // park order, for FIFO eviction under the cap
 	parkedAt     sim.Time // park time, for the scavenger's age sweep
+	node         int8     // home node of the region's resident pages
 }
 
 // Option configures an AddressSpace.
@@ -208,14 +263,17 @@ func New(id uint32, m *sim.Machine, model *cache.Model, opts ...Option) *Address
 		brk:          DataBase,
 		pages:        make(map[uint64][]byte, 256),
 		released:     make(map[uint64]bool),
+		pageNode:     make(map[uint64]int8),
+		numaOn:       m.Nodes() > 1,
+		remoteMult:   m.RemoteMultiplier(),
 		mmapHint:     MmapBase,
 		stackHint:    StackTop,
 		reuseBuckets: make(map[uint64][]reuseRegion),
 	}
 	as.vmas = []VMA{
-		{Start: TextBase, End: TextBase + 0x60000, Kind: KindText, Name: "text"},
-		{Start: DataBase, End: DataBase, Kind: KindBrk, Name: "brk"},
-		{Start: LibBase, End: LibBase + LibSize, Kind: KindLib, Name: "libc.so"},
+		{Start: TextBase, End: TextBase + 0x60000, Kind: KindText, Name: "text", Node: -1},
+		{Start: DataBase, End: DataBase, Kind: KindBrk, Name: "brk", Node: -1},
+		{Start: LibBase, End: LibBase + LibSize, Kind: KindLib, Name: "libc.so", Node: -1},
 	}
 	for _, o := range opts {
 		o(as)
@@ -242,7 +300,41 @@ func (as *AddressSpace) Stats() Stats {
 	s.PagesPresent = uint64(len(as.pages))
 	s.ResidentBytes = s.PagesPresent * PageSize
 	s.MmapReuseParked = as.reuseParked
+	if as.numa() {
+		s.NodeResidentBytes = make([]uint64, as.mach.Nodes())
+		for _, n := range as.pageNode {
+			s.NodeResidentBytes[n] += PageSize
+		}
+	}
 	return s
+}
+
+// numa reports whether the machine has more than one node, i.e. whether the
+// locality books are being kept at all.
+func (as *AddressSpace) numa() bool { return as.numaOn }
+
+// SetReuseNodeAffinity toggles the reuse cache's local-node preference:
+// when on, MmapFromReuse serves a region homed on the caller's node if the
+// bucket holds one. Off (the default) keeps the pure-LIFO node-blind
+// behaviour; remote hand-outs are charged and counted either way.
+func (as *AddressSpace) SetReuseNodeAffinity(on bool) {
+	as.reuseNodeAffinity = on
+}
+
+// chargeRemote applies the cross-node multiplier to a base cost already
+// charged at the local rate: the extra cycles are charged to t and the
+// event is counted. fault marks first-touch/refault events for the
+// RemoteFaults breakdown.
+func (as *AddressSpace) chargeRemote(t *sim.Thread, base int64, fault bool) {
+	extra := int64(float64(base) * (as.remoteMult - 1))
+	if extra > 0 {
+		t.Charge(sim.Time(extra))
+	}
+	as.stats.RemoteAccesses++
+	as.stats.RemoteAccessCycles += uint64(extra)
+	if fault {
+		as.stats.RemoteFaults++
+	}
 }
 
 // SetRefaultCost overrides the cost charged when a released page is touched
@@ -374,11 +466,23 @@ func (as *AddressSpace) accountMapped(delta int64) {
 }
 
 // Mmap creates an anonymous mapping of length bytes (rounded to pages) and
-// returns its address. The search is first-fit from the mmap base, like the
-// 2.2 kernel's get_unmapped_area.
+// returns its address, with the default first-touch page placement. The
+// search is first-fit from the mmap base, like the 2.2 kernel's
+// get_unmapped_area.
 func (as *AddressSpace) Mmap(t *sim.Thread, length uint64, name string) (uint64, error) {
+	return as.MmapOnNode(t, length, name, -1)
+}
+
+// MmapOnNode is Mmap with an explicit home node (mbind semantics): pages of
+// the mapping fault in homed on node regardless of which thread touches
+// them, so a thread on another node pays the remote rate. node < 0 keeps
+// first-touch placement; out-of-range nodes are clamped.
+func (as *AddressSpace) MmapOnNode(t *sim.Thread, length uint64, name string, node int) (uint64, error) {
 	if length == 0 {
 		return 0, fmt.Errorf("vm: mmap of zero length")
+	}
+	if node >= as.mach.Nodes() {
+		node = as.mach.Nodes() - 1
 	}
 	as.vmSyscall(t)
 	as.stats.MmapCalls++
@@ -387,7 +491,7 @@ func (as *AddressSpace) Mmap(t *sim.Thread, length uint64, name string) (uint64,
 	if addr == 0 {
 		return 0, fmt.Errorf("vm: mmap(%d): address space exhausted", length)
 	}
-	as.insertVMA(VMA{Start: addr, End: addr + length, Kind: KindAnon, Name: name})
+	as.insertVMA(VMA{Start: addr, End: addr + length, Kind: KindAnon, Name: name, Node: node})
 	as.accountMapped(int64(length))
 	return addr, nil
 }
@@ -432,10 +536,10 @@ func (as *AddressSpace) Munmap(t *sim.Thread, addr, length uint64) error {
 		}
 		// Keep the pieces outside [addr, end).
 		if v.Start < addr {
-			out = append(out, VMA{Start: v.Start, End: addr, Kind: v.Kind, Name: v.Name})
+			out = append(out, VMA{Start: v.Start, End: addr, Kind: v.Kind, Name: v.Name, Node: v.Node})
 		}
 		if v.End > end {
-			out = append(out, VMA{Start: end, End: v.End, Kind: v.Kind, Name: v.Name})
+			out = append(out, VMA{Start: end, End: v.End, Kind: v.Kind, Name: v.Name, Node: v.Node})
 		}
 		lo, hi := maxU64(v.Start, addr), minU64(v.End, end)
 		removed += hi - lo
@@ -455,6 +559,13 @@ func (as *AddressSpace) Munmap(t *sim.Thread, addr, length uint64) error {
 // contents are NOT zeroed (callers that need calloc semantics must clear).
 // Buckets match on the exact page-rounded length, keeping the accounting
 // honest: a hit reuses precisely what a park put in.
+//
+// On a multi-node machine a hand-out of a region homed on another node is a
+// remote-access event: it is counted, and the reuse work is charged at the
+// remote rate (the touches that follow pay their own remote miss costs).
+// With SetReuseNodeAffinity on, the bucket is first scanned newest-to-oldest
+// for a region homed on the caller's node, so local warmth wins over pure
+// LIFO order.
 func (as *AddressSpace) MmapFromReuse(t *sim.Thread, length uint64) (uint64, bool) {
 	if as.reuseCap == 0 || length == 0 {
 		return 0, false
@@ -467,14 +578,34 @@ func (as *AddressSpace) MmapFromReuse(t *sim.Thread, length uint64) (uint64, boo
 	}
 	// LIFO within the bucket: the most recently parked region has the
 	// warmest pages and cache lines.
-	r := list[len(list)-1]
-	as.reuseBuckets[length] = list[:len(list)-1]
+	pick := len(list) - 1
+	if as.reuseNodeAffinity && as.numa() {
+		// Node affinity: serve the newest region homed on the caller's node
+		// when the bucket holds one; otherwise fall back to the LIFO pick.
+		// The fallback still beats a fresh mmap — the remote surcharge on a
+		// region's touches is cheaper than first-touch-faulting every page
+		// of a new mapping — it is just recorded and charged as the remote
+		// hand-out it is.
+		node := int8(t.Node())
+		for i := len(list) - 1; i >= 0; i-- {
+			if list[i].node == node {
+				pick = i
+				break
+			}
+		}
+	}
+	r := list[pick]
+	as.reuseBuckets[length] = append(list[:pick], list[pick+1:]...)
 	if len(as.reuseBuckets[length]) == 0 {
 		delete(as.reuseBuckets, length)
 	}
 	as.reuseParked -= r.length
 	as.stats.MmapReuses++
 	as.stats.MmapReuseBytes += r.length
+	if as.numa() && int(r.node) != t.Node() {
+		as.stats.ReuseRemoteHands++
+		as.chargeRemote(t, as.reuseWork, false)
+	}
 	return r.addr, true
 }
 
@@ -495,7 +626,18 @@ func (as *AddressSpace) MunmapReuse(t *sim.Thread, addr, length uint64) bool {
 		as.evictOldestReuse(t)
 	}
 	as.reuseSeq++
-	as.reuseBuckets[length] = append(as.reuseBuckets[length], reuseRegion{addr: addr, length: length, seq: as.reuseSeq, parkedAt: t.Now()})
+	// The region's home is where its resident pages live: the home of its
+	// first page (the one its owner always touched), falling back to the
+	// parker's node for a region that was never touched at all.
+	node := int8(0)
+	if as.numa() {
+		if n, ok := as.pageNode[addr/PageSize]; ok {
+			node = n
+		} else {
+			node = int8(t.Node())
+		}
+	}
+	as.reuseBuckets[length] = append(as.reuseBuckets[length], reuseRegion{addr: addr, length: length, seq: as.reuseSeq, parkedAt: t.Now(), node: node})
 	as.reuseParked += length
 	as.stats.MmapReuseParks++
 	return true
@@ -602,6 +744,7 @@ func (as *AddressSpace) ReleasePages(t *sim.Thread, addr, length uint64) uint64 
 			continue // never touched or already released: nothing resident
 		}
 		delete(as.pages, idx)
+		delete(as.pageNode, idx) // the frame is gone: a refault re-homes it
 		as.released[idx] = true
 		released += PageSize
 	}
@@ -619,6 +762,7 @@ func (as *AddressSpace) dropPages(lo, hi uint64) {
 	for p := pageFloor(lo); p < hi; p += PageSize {
 		delete(as.pages, p/PageSize)
 		delete(as.released, p/PageSize)
+		delete(as.pageNode, p/PageSize)
 	}
 	as.cache.DropRange(as.ID, lo, hi-lo)
 	as.lastPage = nil
@@ -633,7 +777,7 @@ func (as *AddressSpace) AllocStack(t *sim.Thread, name string) (uint64, error) {
 	top := as.stackHint
 	base := top - StackSize
 	as.stackHint = base - PageSize // guard gap
-	as.insertVMA(VMA{Start: base, End: top, Kind: KindStack, Name: name})
+	as.insertVMA(VMA{Start: base, End: top, Kind: KindStack, Name: name, Node: -1})
 	as.accountMapped(StackSize)
 	// Stacks grow down: first touch hits the top page.
 	as.Write64(t, top-8, 0)
@@ -665,6 +809,17 @@ func (as *AddressSpace) page(t *sim.Thread, addr uint64, op string) []byte {
 		// is intentional and applies even when Refault falls back to the
 		// PageFault cost: what distinguishes the paths is release history,
 		// which only reclamation-enabled configurations ever create.
+		// The page's home node: the VMA binding when there is one, else the
+		// faulting thread's node — Linux's first-touch placement. A fault a
+		// binding forces onto another node pays the remote rate: the frame is
+		// allocated and zeroed across the interconnect.
+		home := 0
+		if as.numa() {
+			home = t.Node()
+			if i := as.findVMA(addr); i >= 0 && as.vmas[i].Node >= 0 {
+				home = as.vmas[i].Node
+			}
+		}
 		if as.released[idx] {
 			cost := as.costs.Refault
 			if cost <= 0 {
@@ -673,22 +828,47 @@ func (as *AddressSpace) page(t *sim.Thread, addr uint64, op string) []byte {
 			delete(as.released, idx)
 			as.stats.Refaults++
 			t.Charge(sim.Time(cost))
+			if as.numa() && home != t.Node() {
+				as.chargeRemote(t, cost, true)
+			}
 		} else {
 			t.Lock(as.mmLock)
 			t.Charge(sim.Time(as.costs.PageFault))
+			if as.numa() && home != t.Node() {
+				as.chargeRemote(t, as.costs.PageFault, true)
+			}
 			t.Unlock(as.mmLock)
 		}
 		as.stats.MinorFaults++
 		p = make([]byte, PageSize)
 		as.pages[idx] = p
+		if as.numa() {
+			as.pageNode[idx] = int8(home)
+		}
 	}
 	as.lastIdx, as.lastPage = idx, p
 	return p
 }
 
-// charge bills one cache access for addr.
+// charge bills one cache access for addr. On a multi-node machine a fill
+// that crossed a node boundary pays the remote multiplier on top: a
+// memory-served miss travels from the page's home node, a cache-to-cache
+// transfer from the supplying CPU's node. Hits and upgrades stay at the
+// local rate — no data moved.
 func (as *AddressSpace) charge(t *sim.Thread, addr uint64, write bool) {
-	c := as.cache.Access(t.CPU(), as.cache.Key(as.ID, addr), write)
+	c, fill, from := as.cache.AccessFill(t.CPU(), as.cache.Key(as.ID, addr), write)
+	if as.numaOn {
+		switch fill {
+		case cache.FillMemory:
+			if home, ok := as.pageNode[addr/PageSize]; ok && int(home) != t.Node() {
+				as.chargeRemote(t, c, false)
+			}
+		case cache.FillCache:
+			if as.mach.NodeOfCPU(from) != t.Node() {
+				as.chargeRemote(t, c, false)
+			}
+		}
+	}
 	t.Charge(sim.Time(c))
 }
 

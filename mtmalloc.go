@@ -104,11 +104,13 @@ type (
 	Table      = bench.Table
 )
 
-// Machine profiles of the paper's four hosts.
+// Machine profiles of the paper's four hosts, plus the multi-node NUMA
+// family the locality experiment runs on.
 func DualPPro200() Profile         { return bench.DualPPro200() }
 func QuadXeon500() Profile         { return bench.QuadXeon500() }
 func SunUltra2x400() Profile       { return bench.SunUltra2x400() }
 func K6_400() Profile              { return bench.K6_400() }
+func NUMAServer(nodes int) Profile { return bench.NUMAServer(nodes) }
 func Profiles() map[string]Profile { return bench.Profiles() }
 
 // DefaultHeapParams mirrors glibc 2.0/2.1 defaults (128 KB trim and mmap
