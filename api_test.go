@@ -28,9 +28,10 @@ func TestFacadeWorldRoundtrip(t *testing.T) {
 }
 
 func TestFacadeProfiles(t *testing.T) {
-	// The paper's four hosts plus the three-machine numa-500 family (D4).
-	if len(Profiles()) != 7 {
-		t.Fatalf("Profiles() = %d entries, want 7", len(Profiles()))
+	// The paper's four hosts, the three-machine numa-500 family (D4), and
+	// the two 64-CPU scaling hosts (D5).
+	if len(Profiles()) != 9 {
+		t.Fatalf("Profiles() = %d entries, want 9", len(Profiles()))
 	}
 	for _, p := range []Profile{DualPPro200(), QuadXeon500(), SunUltra2x400(), K6_400()} {
 		if p.CPUs < 1 || p.ClockMHz <= 0 {
@@ -49,7 +50,7 @@ func TestFacadeExperimentsRegistry(t *testing.T) {
 }
 
 func TestFacadeAllocatorKinds(t *testing.T) {
-	for _, kind := range []AllocatorKind{Serial, PTMalloc, PerThread, ThreadCache} {
+	for _, kind := range []AllocatorKind{Serial, PTMalloc, PerThread, ThreadCache, LockFree} {
 		w := NewWorld(QuadXeon500(), 2, WithAllocator(kind))
 		err := w.Run(func(main *Thread) {
 			inst, err := w.AddInstance(main)

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	profileName := flag.String("profile", "quad-xeon-500", "machine profile")
-	allocator := flag.String("allocator", "ptmalloc", "allocator kind: serial, ptmalloc, perthread, threadcache")
+	allocator := flag.String("allocator", "ptmalloc", "allocator kind: serial, ptmalloc, perthread, threadcache, lockfree")
 	threads := flag.Int("threads", 4, "worker threads")
 	ops := flag.Int("ops", 20000, "operations per thread")
 	seeds := flag.Int("seeds", 5, "number of seeds to torture")

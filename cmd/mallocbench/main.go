@@ -11,6 +11,7 @@
 //	mallocbench -bench d2 -scale 0.01 -json BENCH_D2.json
 //	mallocbench -bench d3 -scale 1 -json BENCH_D3.json
 //	mallocbench -bench d4 -scale 1 -json BENCH_D4.json
+//	mallocbench -bench d5 -scale 1 -json BENCH_D5.json
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson, d2 (mid-tier ablation), d3 (footprint phase-shift) or d4 (NUMA locality)")
+	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson, d2 (mid-tier ablation), d3 (footprint phase-shift), d4 (NUMA locality) or d5 (contention scaling)")
 	profileName := flag.String("profile", "quad-xeon-500", "machine profile")
 	threads := flag.Int("threads", 2, "worker threads")
 	processes := flag.Bool("processes", false, "benchmark 1: one process per worker")
@@ -124,8 +125,14 @@ func main() {
 			fatal(err)
 		}
 		tab = res
+	case "d5":
+		res, err := bench.ExpScaling(bench.Options{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		tab = res
 	default:
-		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson, d2, d3 or d4)", *which))
+		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson, d2, d3, d4 or d5)", *which))
 	}
 
 	if *jsonPath != "" {

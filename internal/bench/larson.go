@@ -35,6 +35,16 @@ type LarsonConfig struct {
 	// multiplier when its lines miss. Off by default, keeping the
 	// throughput workloads exactly as they were.
 	TouchObjects bool
+	// Producers, when > 0, switches to the node-imbalanced handoff variant:
+	// the first Producers threads allocate every object and hand each one to
+	// a consumer mailbox; the remaining Threads-Producers threads only free.
+	// Producers spawn first, so the scheduler packs them onto the
+	// lowest-numbered CPUs — one node when Producers <= CPUs/Nodes — and
+	// every free is a cross-thread (usually cross-node) free aimed at that
+	// node's tier-2/3 structures. The D5 scaling probe uses it to
+	// concentrate contention on one node's depot and page backend instead of
+	// spreading it evenly. Ops still counts replaces per producer.
+	Producers int
 	Runs         int
 	Seed         uint64
 	// Allocator overrides the profile default when non-empty.
@@ -76,6 +86,12 @@ func RunLarson(cfg LarsonConfig) (LarsonResult, error) {
 	if cfg.Threads < 1 || cfg.Slots < 1 || cfg.Ops < 1 || cfg.MinSize > cfg.MaxSize {
 		return LarsonResult{}, fmt.Errorf("larson: bad config %+v", cfg)
 	}
+	if cfg.Producers < 0 || cfg.Producers >= cfg.Threads {
+		return LarsonResult{}, fmt.Errorf("larson: Producers = %d must be in [0, Threads)", cfg.Producers)
+	}
+	if cfg.Producers > 0 && len(cfg.Phases) > 0 {
+		return LarsonResult{}, fmt.Errorf("larson: Producers and Phases are mutually exclusive")
+	}
 	res := LarsonResult{Config: cfg}
 	for run := 0; run < cfg.Runs; run++ {
 		r, err := runLarsonOnce(cfg, cfg.Seed+uint64(run)*65537)
@@ -109,6 +125,17 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 		}
 		al, as := inst.Alloc, inst.AS
 		start := main.Now()
+		if cfg.Producers > 0 {
+			runLarsonImbalanced(cfg, w, main, inst)
+			wall := w.Seconds(main.Now() - start)
+			out.WallSeconds = wall
+			out.Throughput = float64(cfg.Ops*cfg.Producers) / wall
+			out.VMStats = as.Stats()
+			out.MinorFaults = out.VMStats.MinorFaults
+			out.ArenaCount = len(al.Arenas())
+			out.AllocStats = al.Stats()
+			return
+		}
 		workers := make([]*sim.Thread, cfg.Threads)
 		for i := 0; i < cfg.Threads; i++ {
 			workers[i] = main.Spawn(fmt.Sprintf("larson-%d", i), func(t *sim.Thread) {
@@ -178,4 +205,94 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 		out.AllocStats = al.Stats()
 	})
 	return out, err
+}
+
+// runLarsonImbalanced is the Producers > 0 variant: producers run the usual
+// slot-replace loop but never free — each displaced object goes to a consumer
+// mailbox — and consumers do nothing but free. Producers spawn first, so the
+// scheduler packs them onto the lowest-numbered CPUs (one node when they fit
+// in it), concentrating allocation on that node while frees arrive from every
+// other node. The mailboxes are host-side plumbing, not simulated memory: the
+// engine resumes one thread at a time, so plain slices are safe.
+func runLarsonImbalanced(cfg LarsonConfig, w *World, main *sim.Thread, inst *Instance) {
+	al, as := inst.Alloc, inst.AS
+	consumers := cfg.Threads - cfg.Producers
+	boxes := make([][]uint64, consumers)
+	producersDone := 0
+	threads := make([]*sim.Thread, 0, cfg.Threads)
+	for i := 0; i < cfg.Producers; i++ {
+		threads = append(threads, main.Spawn(fmt.Sprintf("larson-prod-%d", i), func(t *sim.Thread) {
+			al.AttachThread(t)
+			defer al.DetachThread(t)
+			rng := t.RNG()
+			randSize := func() uint32 {
+				return cfg.MinSize + uint32(rng.Intn(int(cfg.MaxSize-cfg.MinSize)+1))
+			}
+			arr, err := al.Malloc(t, uint32(4*cfg.Slots))
+			if err != nil {
+				panic(fmt.Sprintf("larson: slot array: %v", err))
+			}
+			for s := 0; s < cfg.Slots; s++ {
+				p, err := al.Malloc(t, randSize())
+				if err != nil {
+					panic(fmt.Sprintf("larson: prefill: %v", err))
+				}
+				as.Write32(t, arr+uint64(4*s), uint32(p))
+			}
+			box := 0
+			for op := 0; op < cfg.Ops; op++ {
+				s := rng.Intn(cfg.Slots)
+				boxes[box] = append(boxes[box], uint64(as.Read32(t, arr+uint64(4*s))))
+				box = (box + 1) % consumers
+				sz := randSize()
+				p, err := al.Malloc(t, sz)
+				if err != nil {
+					panic(fmt.Sprintf("larson: alloc: %v", err))
+				}
+				if cfg.TouchObjects {
+					for off := uint64(0); off < uint64(sz); off += vm.PageSize {
+						as.Write8(t, p+off, byte(op))
+					}
+				}
+				as.Write32(t, arr+uint64(4*s), uint32(p))
+			}
+			// Hand the surviving slot objects over too, then retire.
+			for s := 0; s < cfg.Slots; s++ {
+				boxes[box] = append(boxes[box], uint64(as.Read32(t, arr+uint64(4*s))))
+				box = (box + 1) % consumers
+			}
+			if err := al.Free(t, arr); err != nil {
+				panic(fmt.Sprintf("larson: free slot array: %v", err))
+			}
+			producersDone++
+		}))
+	}
+	for j := 0; j < consumers; j++ {
+		j := j
+		threads = append(threads, main.Spawn(fmt.Sprintf("larson-cons-%d", j), func(t *sim.Thread) {
+			al.AttachThread(t)
+			defer al.DetachThread(t)
+			for {
+				if len(boxes[j]) == 0 {
+					if producersDone == cfg.Producers {
+						return
+					}
+					t.Sleep(5000) // poll the mailbox like a condvar wait
+					continue
+				}
+				p := boxes[j][len(boxes[j])-1]
+				boxes[j] = boxes[j][:len(boxes[j])-1]
+				if cfg.TouchObjects {
+					as.Read8(t, p)
+				}
+				if err := al.Free(t, p); err != nil {
+					panic(fmt.Sprintf("larson: consumer free: %v", err))
+				}
+				t.MaybeYield()
+			}
+		}))
+	}
+	for _, th := range threads {
+		main.Join(th)
+	}
 }

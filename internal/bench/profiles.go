@@ -270,16 +270,47 @@ func NUMAServer(nodes int) Profile {
 	return p
 }
 
+// NUMAServerScale widens the numa-500 family past D4's 8 CPUs for the
+// contention-scaling experiment (D5): the same per-CPU costs and 2.0x
+// interconnect, but with the CPU count a parameter so 16-, 32- and 64-thread
+// sweeps run without timesharing noise. Name: "numa-500-<n>n<c>c".
+func NUMAServerScale(nodes, cpus int) Profile {
+	p := QuadXeon500()
+	p.Name = fmt.Sprintf("numa-500-%dn%dc", nodes, cpus)
+	p.CPUs = cpus
+	p.Nodes = nodes
+	if nodes > 1 {
+		p.SimCosts.RemoteAccess = 2.0
+	}
+	p.Allocator = malloc.KindThreadCache
+	return p
+}
+
+// OriginServer is the high-ratio end of the cc-NUMA spectrum: an SGI
+// Origin-class interconnect where a remote touch costs 2.8x a local one
+// (published Origin 2000 remote:local latency sits between 2.5x and 3x,
+// versus the ~2x of the Sun WildFire class NUMAServer models). Everything
+// else is the numa-500 machine, so runs differing only in the profile isolate
+// how the allocator rankings shift as remote memory gets more expensive.
+func OriginServer(nodes, cpus int) Profile {
+	p := NUMAServerScale(nodes, cpus)
+	p.Name = fmt.Sprintf("origin-500-%dn%dc", nodes, cpus)
+	p.SimCosts.RemoteAccess = 2.8
+	return p
+}
+
 // Profiles returns every machine profile by name.
 func Profiles() map[string]Profile {
 	return map[string]Profile{
-		"dual-ppro-200":   DualPPro200(),
-		"quad-xeon-500":   QuadXeon500(),
-		"sun-ultra-2x400": SunUltra2x400(),
-		"k6-400":          K6_400(),
-		"numa-500-1n":     NUMAServer(1),
-		"numa-500-2n":     NUMAServer(2),
-		"numa-500-4n":     NUMAServer(4),
+		"dual-ppro-200":    DualPPro200(),
+		"quad-xeon-500":    QuadXeon500(),
+		"sun-ultra-2x400":  SunUltra2x400(),
+		"k6-400":           K6_400(),
+		"numa-500-1n":      NUMAServer(1),
+		"numa-500-2n":      NUMAServer(2),
+		"numa-500-4n":      NUMAServer(4),
+		"numa-500-4n64c":   NUMAServerScale(4, 64),
+		"origin-500-4n64c": OriginServer(4, 64),
 	}
 }
 
@@ -287,7 +318,7 @@ func Profiles() map[string]Profile {
 func ProfileByName(name string) (Profile, error) {
 	p, ok := Profiles()[name]
 	if !ok {
-		return Profile{}, fmt.Errorf("bench: unknown profile %q (have dual-ppro-200, quad-xeon-500, sun-ultra-2x400, k6-400, numa-500-{1,2,4}n)", name)
+		return Profile{}, fmt.Errorf("bench: unknown profile %q (have dual-ppro-200, quad-xeon-500, sun-ultra-2x400, k6-400, numa-500-{1,2,4}n, numa-500-4n64c, origin-500-4n64c)", name)
 	}
 	return p, nil
 }

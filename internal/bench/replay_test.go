@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+
+	"mtmalloc/internal/malloc"
+)
+
+// These golden values were captured from the experiment harness before the
+// contention-pricing refactor (the ContentionPoint abstraction, the pluggable
+// depot, and the buddy backend). The four mutex-priced designs must re-derive
+// them bit-for-bit: the refactor may add new code paths, but the existing
+// kinds' charge sequences, RNG draw order, and scheduling decisions must be
+// untouched. Throughputs are compared as exact float64 values (hex encoded to
+// survive source formatting); counters are compared exactly.
+
+func hexf(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad golden constant %q: %v", s, err)
+	}
+	return v
+}
+
+func wantf(t *testing.T, what string, got float64, wantHex string) {
+	t.Helper()
+	if want := hexf(t, wantHex); got != want {
+		t.Errorf("%s = %v (%s), want %s (bit-identical replay broken)",
+			what, got, strconv.FormatFloat(got, 'x', -1, 64), wantHex)
+	}
+}
+
+func wantu(t *testing.T, what string, got, want uint64) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s = %d, want %d (bit-identical replay broken)", what, got, want)
+	}
+}
+
+// TestReplayBench1 replays the D1 benchmark-1 configuration for each of the
+// four pre-refactor kinds and checks per-thread times and lock counters
+// against pre-refactor goldens.
+func TestReplayBench1(t *testing.T) {
+	goldens := []struct {
+		kind      malloc.Kind
+		perThread [4]string
+		trylock   uint64
+		lockAcqs  uint64
+		arenas    int
+	}{
+		{malloc.KindPTMalloc,
+			[4]string{"0x1.067ec6fccb8f8p-05", "0x1.b4a9684c4d3e3p-06", "0x1.b4da63747fbfep-06", "0x1.b48ed0c65f281p-06"},
+			12, 160000, 4},
+		{malloc.KindSerial,
+			[4]string{"0x1.9cab0a4086eap-03", "0x1.35af1dc2e7237p-03", "0x1.8e75acb304825p-03", "0x1.879213a488c72p-03"},
+			0, 160000, 1},
+		{malloc.KindPerThread,
+			[4]string{"0x1.b408838fca967p-06", "0x1.b4a43f9879e78p-06", "0x1.b4bdbff226812p-06", "0x1.b43cf155a0cefp-06"},
+			0, 160000, 5},
+		{malloc.KindThreadCache,
+			[4]string{"0x1.4a345f35ce20cp-07", "0x1.18facdbc0b08ap-07", "0x1.19a0d06f9995fp-07", "0x1.185231502f177p-07"},
+			0, 4, 4},
+	}
+	for _, g := range goldens {
+		g := g
+		t.Run(string(g.kind), func(t *testing.T) {
+			cfg := B1Config{
+				Profile:   QuadXeon500(),
+				Threads:   4,
+				Size:      512,
+				Pairs:     20000,
+				Runs:      1,
+				Seed:      1,
+				Allocator: g.kind,
+			}
+			res, err := RunBench1(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := res.Runs[0]
+			if len(run.PerThread) != 4 {
+				t.Fatalf("PerThread count = %d, want 4", len(run.PerThread))
+			}
+			for i, v := range run.PerThread {
+				wantf(t, "PerThread["+strconv.Itoa(i)+"]", v, g.perThread[i])
+			}
+			wantu(t, "TrylockFailures", run.AllocStats.TrylockFailures, g.trylock)
+			wantu(t, "ArenaLockAcqs", run.AllocStats.ArenaLockAcqs, g.lockAcqs)
+			if run.ArenaCount != g.arenas {
+				t.Errorf("ArenaCount = %d, want %d", run.ArenaCount, g.arenas)
+			}
+		})
+	}
+}
+
+// TestReplayLarson replays the D1/D2 Larson configuration for each kind.
+func TestReplayLarson(t *testing.T) {
+	goldens := []struct {
+		kind              malloc.Kind
+		throughput        string
+		faults            uint64
+		lockAcqs          uint64
+		depotHits, depotD uint64
+	}{
+		{malloc.KindPTMalloc, "0x1.c7b2abf1d8b82p+20", 86, 28004, 0, 0},
+		{malloc.KindSerial, "0x1.324956000cd8bp+18", 82, 28004, 0, 0},
+		{malloc.KindPerThread, "0x1.029d02436f0ep+21", 87, 28004, 0, 0},
+		{malloc.KindThreadCache, "0x1.c9fdaee43f3d4p+21", 153, 306, 67, 145},
+	}
+	for _, g := range goldens {
+		g := g
+		t.Run(string(g.kind), func(t *testing.T) {
+			cfg := DefaultLarson(QuadXeon500())
+			cfg.Threads = 4
+			cfg.Ops = 3000
+			cfg.Runs = 1
+			cfg.Seed = 1
+			cfg.Allocator = g.kind
+			res, err := RunLarson(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := res.Runs[0]
+			wantf(t, "Throughput", run.Throughput, g.throughput)
+			wantu(t, "MinorFaults", run.MinorFaults, g.faults)
+			wantu(t, "ArenaLockAcqs", run.AllocStats.ArenaLockAcqs, g.lockAcqs)
+			wantu(t, "DepotHits", run.AllocStats.DepotHits, g.depotHits)
+			wantu(t, "DepotDonates", run.AllocStats.DepotDonates, g.depotD)
+		})
+	}
+}
+
+// TestReplayD4Locality replays the D4 NUMA-locality probe (4-node machine,
+// sharded vs node-blind) whose remote-access counters depend on the full
+// scheduler + vm + pool interleaving.
+func TestReplayD4Locality(t *testing.T) {
+	goldens := []struct {
+		blind      bool
+		throughput string
+		remote     uint64
+		remFrees   uint64
+		faults     uint64
+	}{
+		{false, "0x1.2eeae350b67d1p+22", 0, 0, 296},
+		{true, "0x1.1240fb32e2ecep+22", 790, 0, 290},
+	}
+	for _, g := range goldens {
+		g := g
+		name := "sharded"
+		if g.blind {
+			name = "blind"
+		}
+		t.Run(name, func(t *testing.T) {
+			prof := NUMAServer(4)
+			costs := prof.AllocCosts
+			costs.NUMANodeBlind = g.blind
+			cfg := DefaultLarson(prof)
+			cfg.Threads = 8
+			cfg.Ops = 2000
+			cfg.Runs = 1
+			cfg.Seed = 1
+			cfg.TouchObjects = true
+			cfg.Allocator = malloc.KindThreadCache
+			cfg.Costs = &costs
+			res, err := RunLarson(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := res.Runs[0]
+			wantf(t, "Throughput", run.Throughput, g.throughput)
+			wantu(t, "RemoteAccesses", run.AllocStats.RemoteAccesses, g.remote)
+			wantu(t, "RemoteFrees", run.AllocStats.RemoteFrees, g.remFrees)
+			wantu(t, "MinorFaults", run.MinorFaults, g.faults)
+		})
+	}
+}
+
+// TestReplayD3Scavenge replays the D3 idle-decay scavenger probe, exercising
+// the scavenger cascade and depot decay paths.
+func TestReplayD3Scavenge(t *testing.T) {
+	prof := QuadXeon500()
+	costs := prof.ScavengeCosts()
+	costs.ScavengeMinBinBytes = 32 << 10
+	cfg := DefaultLarson(prof)
+	cfg.Threads = 4
+	cfg.Ops = 2500
+	cfg.Runs = 1
+	cfg.Seed = 1
+	cfg.Allocator = malloc.KindThreadCache
+	cfg.Costs = &costs
+	cfg.Phases = []Phase{{Ops: 1500, IdleSeconds: 0.05}, {Ops: 1000}}
+	res, err := RunLarson(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := res.Runs[0]
+	wantf(t, "Throughput", run.Throughput, "0x1.707b0c236991dp+17")
+	wantu(t, "ScavengeEpochs", run.AllocStats.ScavengeEpochs, 2)
+	wantu(t, "ScavengeBytes", run.AllocStats.ScavengeBytes, 130224)
+	wantu(t, "PagesReleased", run.AllocStats.PagesReleased, 0)
+}

@@ -9,6 +9,13 @@
 // pays simulated cache and page-fault costs exactly where the real one
 // would.
 //
+// Alongside the arena the package provides Buddy, a non-blocking
+// power-of-two buddy page allocator (packed per-level free bitmaps updated
+// by CAS, coalesce-on-free, growth as the only locked path). It backs the
+// lock-free allocator design's page tier, where block metadata stays out of
+// simulated memory entirely — chunks carved from buddy blocks have no
+// headers.
+//
 // # Chunk layout (32-bit, SIZE_SZ = 4, 8-byte granularity)
 //
 //	chunk-> +----------------------------------+

@@ -17,10 +17,13 @@ const (
 	KindPTMalloc    Kind = "ptmalloc"    // glibc 2.0/2.1 arena list
 	KindPerThread   Kind = "perthread"   // one arena per thread
 	KindThreadCache Kind = "threadcache" // per-thread magazine over a shared arena pool
+	KindLockFree    Kind = "lockfree"    // thread cache with CAS depot + buddy page backend
 )
 
 // Kinds lists every allocator kind.
-func Kinds() []Kind { return []Kind{KindSerial, KindPTMalloc, KindPerThread, KindThreadCache} }
+func Kinds() []Kind {
+	return []Kind{KindSerial, KindPTMalloc, KindPerThread, KindThreadCache, KindLockFree}
+}
 
 // New constructs an allocator of the given kind on as.
 func New(t *sim.Thread, kind Kind, as *vm.AddressSpace, params heap.Params, costs CostParams) (Allocator, error) {
@@ -33,6 +36,8 @@ func New(t *sim.Thread, kind Kind, as *vm.AddressSpace, params heap.Params, cost
 		return NewPerThread(t, as, params, costs)
 	case KindThreadCache:
 		return NewThreadCache(t, as, params, costs)
+	case KindLockFree:
+		return NewLockFree(t, as, params, costs)
 	default:
 		return nil, fmt.Errorf("malloc: unknown allocator kind %q", kind)
 	}

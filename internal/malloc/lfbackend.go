@@ -1,0 +1,324 @@
+package malloc
+
+import (
+	"fmt"
+
+	"mtmalloc/internal/heap"
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/vm"
+)
+
+// lfBackend is the page backend of the lock-free design: one non-blocking
+// buddy allocator per NUMA node (heap.Buddy) plus span bookkeeping. Magazine
+// refills carve batches of chunks out of buddy-backed spans instead of
+// locking an arena, and a span whose last chunk comes home returns its whole
+// block to the buddy (the superblock rule), where CAS coalescing rebuilds
+// large blocks. No path here acquires a lock: contention lives in the buddy's
+// per-order bitmap CAS points and is reported through its stats.
+//
+// Chunks carved from a span carry a nil arena in their tcEntry; every
+// consumer that would touch the arena (flush, node routing, Check) detours
+// through this backend instead.
+type lfBackend struct {
+	as    *vm.AddressSpace
+	nodes []*lfNode
+
+	zonePages  int
+	carveWork  int64
+	returnWork int64
+
+	// pageSpan maps every page of every live block to its span, so free-side
+	// routing is one map probe (the stand-in for a real allocator's radix
+	// walk, priced at TSDRead scale by the caller).
+	pageSpan map[uint64]*lfSpan
+
+	stats *Stats
+}
+
+// lfNode is one node's slice of the backend: its buddy and its partial-span
+// lists (spans with chunks still available, per size class, oldest first).
+type lfNode struct {
+	node    int
+	buddy   *heap.Buddy
+	partial map[uint32][]*lfSpan
+	spans   []*lfSpan
+}
+
+// lfSpan is one buddy block carved into chunks of a single size class.
+// Chunks are carved lazily front to back; returned chunks park on freeList.
+// live counts chunks currently out of the span (in user hands, magazines or
+// depots) — the invariant live + len(freeList) == carved always holds, and
+// live hitting zero frees the whole block back to the buddy.
+type lfSpan struct {
+	base     uint64
+	pages    int
+	csz      uint32
+	node     int
+	chunks   int
+	carved   int
+	freeList []uint64
+	live     int
+}
+
+func (sp *lfSpan) avail() int { return len(sp.freeList) + (sp.chunks - sp.carved) }
+
+func newLFBackend(name string, as *vm.AddressSpace, shards []*poolShard, costs CostParams, stats *Stats) *lfBackend {
+	be := &lfBackend{
+		as:         as,
+		zonePages:  costs.BuddyZonePages,
+		carveWork:  costs.BuddyCarveWork,
+		returnWork: costs.BuddyReturnWork,
+		pageSpan:   make(map[uint64]*lfSpan),
+		stats:      stats,
+	}
+	for _, sh := range shards {
+		bname := name + ".buddy"
+		if len(shards) > 1 {
+			bname = fmt.Sprintf("%s.buddy.n%d", name, sh.node)
+		}
+		be.nodes = append(be.nodes, &lfNode{
+			node:    sh.node,
+			buddy:   heap.NewBuddy(as, bname, be.zonePages, sh.node),
+			partial: make(map[uint32][]*lfSpan),
+		})
+	}
+	return be
+}
+
+// nodeOf returns the backend slice serving the given node (the single flat
+// slice when the pool is not sharded).
+func (be *lfBackend) nodeOf(node int) *lfNode {
+	if len(be.nodes) == 1 || node < 0 {
+		return be.nodes[0]
+	}
+	if node >= len(be.nodes) {
+		node = 0
+	}
+	return be.nodes[node]
+}
+
+// refill carves want chunks of class csz from the caller's node, allocating
+// fresh buddy blocks sized for batch chunks as partial spans run out. The
+// entries carry nil arenas; their owning span is found via pageSpan.
+func (be *lfBackend) refill(t *sim.Thread, node int, csz uint32, want, batch int) ([]tcEntry, error) {
+	nd := be.nodeOf(node)
+	out := make([]tcEntry, 0, want)
+	for len(out) < want {
+		sp := be.partialSpan(nd, csz)
+		if sp == nil {
+			var err error
+			sp, err = be.newSpan(t, nd, csz, batch)
+			if err != nil {
+				if len(out) > 0 {
+					return out, nil // partial refill: hand over what we have
+				}
+				return nil, err
+			}
+		}
+		for len(out) < want && sp.avail() > 0 {
+			var mem uint64
+			if n := len(sp.freeList); n > 0 {
+				mem = sp.freeList[n-1]
+				sp.freeList = sp.freeList[:n-1]
+			} else {
+				mem = sp.base + uint64(sp.carved)*uint64(csz)
+				sp.carved++
+			}
+			sp.live++
+			t.Charge(sim.Time(be.carveWork))
+			out = append(out, tcEntry{mem: mem})
+		}
+		if sp.avail() == 0 {
+			be.dropPartial(nd, csz, sp)
+		}
+	}
+	return out, nil
+}
+
+// partialSpan returns the oldest span of csz with chunks available, pruning
+// exhausted list heads as it goes.
+func (be *lfBackend) partialSpan(nd *lfNode, csz uint32) *lfSpan {
+	list := nd.partial[csz]
+	for len(list) > 0 {
+		if list[0].avail() > 0 {
+			nd.partial[csz] = list
+			return list[0]
+		}
+		list = list[1:]
+	}
+	if len(nd.partial[csz]) > 0 {
+		nd.partial[csz] = list
+	}
+	return nil
+}
+
+// newSpan allocates a buddy block sized for batch chunks of csz and registers
+// it as a partial span.
+func (be *lfBackend) newSpan(t *sim.Thread, nd *lfNode, csz uint32, batch int) (*lfSpan, error) {
+	want := uint64(batch) * uint64(csz)
+	pages := int((want + vm.PageSize - 1) / vm.PageSize)
+	pages = nd.buddy.BlockPages(pages)
+	addr, err := nd.buddy.Alloc(t, pages)
+	if err != nil {
+		return nil, fmt.Errorf("malloc: buddy refill (%d pages for class %d): %w", pages, csz, err)
+	}
+	sp := &lfSpan{
+		base:   addr,
+		pages:  pages,
+		csz:    csz,
+		node:   nd.node,
+		chunks: int(uint64(pages) * vm.PageSize / uint64(csz)),
+	}
+	for p := 0; p < pages; p++ {
+		be.pageSpan[addr/vm.PageSize+uint64(p)] = sp
+	}
+	nd.partial[csz] = append(nd.partial[csz], sp)
+	nd.spans = append(nd.spans, sp)
+	return sp, nil
+}
+
+// dropPartial removes an exhausted span from its class's partial list; the
+// span stays registered (its chunks are out) until the last one returns.
+func (be *lfBackend) dropPartial(nd *lfNode, csz uint32, sp *lfSpan) {
+	list := nd.partial[csz]
+	for i, s := range list {
+		if s == sp {
+			nd.partial[csz] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// spanAt returns the span owning mem, nil when mem is not buddy-backed.
+// Uncharged — callers on priced paths use spanOf.
+func (be *lfBackend) spanAt(mem uint64) *lfSpan {
+	return be.pageSpan[mem/vm.PageSize]
+}
+
+// spanOf is the priced routing probe on the free path, the buddy analogue of
+// base.routeFree's TSD-scale read.
+func (be *lfBackend) spanOf(t *sim.Thread, mem uint64, tsdRead int64) *lfSpan {
+	t.Charge(sim.Time(tsdRead))
+	return be.spanAt(mem)
+}
+
+// returnChunk hands one chunk back to its span; the last chunk home frees
+// the whole block back to the buddy, where CAS coalescing rebuilds it.
+func (be *lfBackend) returnChunk(t *sim.Thread, mem uint64) error {
+	sp := be.spanAt(mem)
+	if sp == nil {
+		return fmt.Errorf("%w: 0x%x not in any buddy span", heap.ErrBadFree, mem)
+	}
+	if sp.live <= 0 {
+		return fmt.Errorf("%w: 0x%x returned to an empty span", heap.ErrBadFree, mem)
+	}
+	t.Charge(sim.Time(be.returnWork))
+	sp.freeList = append(sp.freeList, mem)
+	sp.live--
+	if sp.live > 0 {
+		return nil
+	}
+	// Last chunk home: the block goes back whole. Unregister first so a
+	// racing (simulated) lookup cannot resolve into a freed block.
+	nd := be.nodeOf(sp.node)
+	be.dropPartial(nd, sp.csz, sp)
+	for i, s := range nd.spans {
+		if s == sp {
+			nd.spans = append(nd.spans[:i], nd.spans[i+1:]...)
+			break
+		}
+	}
+	for p := 0; p < sp.pages; p++ {
+		delete(be.pageSpan, sp.base/vm.PageSize+uint64(p))
+	}
+	return nd.buddy.Free(t, sp.base, sp.pages)
+}
+
+// takeReturns filters buddy-backed victims out of a flush batch, returning
+// each to its span, and hands back the arena-owned remainder (order
+// preserved) for the ordinary locked flush.
+func (be *lfBackend) takeReturns(t *sim.Thread, victims []tcEntry) ([]tcEntry, error) {
+	var firstErr error
+	rest := victims[:0]
+	for _, e := range victims {
+		if e.arena != nil {
+			rest = append(rest, e)
+			continue
+		}
+		if err := be.returnChunk(t, e.mem); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return rest, firstErr
+}
+
+// ownsChunk verifies mem is a chunk this backend has carved: inside a live
+// span, on a class boundary, within the carved prefix.
+func (be *lfBackend) ownsChunk(mem uint64) error {
+	sp := be.spanAt(mem)
+	if sp == nil {
+		return fmt.Errorf("0x%x not in any buddy span", mem)
+	}
+	off := mem - sp.base
+	if off%uint64(sp.csz) != 0 || int(off/uint64(sp.csz)) >= sp.carved {
+		return fmt.Errorf("0x%x not a carved class-%d chunk of span 0x%x", mem, sp.csz, sp.base)
+	}
+	return nil
+}
+
+// parkedBytes sums the chunks parked on span free lists (returned but whose
+// block is still live).
+func (be *lfBackend) parkedBytes() uint64 {
+	n := uint64(0)
+	for _, nd := range be.nodes {
+		for _, sp := range nd.spans {
+			n += uint64(len(sp.freeList)) * uint64(sp.csz)
+		}
+	}
+	return n
+}
+
+// bStats sums the per-node buddy counters.
+func (be *lfBackend) bStats() heap.BuddyStats {
+	var s heap.BuddyStats
+	for _, nd := range be.nodes {
+		st := nd.buddy.Stats()
+		s.Allocs += st.Allocs
+		s.Frees += st.Frees
+		s.Splits += st.Splits
+		s.Merges += st.Merges
+		s.GrowEvents += st.GrowEvents
+		s.Zones += st.Zones
+		s.FreePages += st.FreePages
+		s.AllocPages += st.AllocPages
+		s.CASAttempts += st.CASAttempts
+		s.CASFails += st.CASFails
+		s.RetryCycles += st.RetryCycles
+		s.GrowLockAcqs += st.GrowLockAcqs
+	}
+	return s
+}
+
+// check verifies the span invariants and every buddy's bitmap state.
+func (be *lfBackend) check() error {
+	for _, nd := range be.nodes {
+		for _, sp := range nd.spans {
+			if sp.carved > sp.chunks {
+				return fmt.Errorf("malloc: span 0x%x carved %d of %d chunks", sp.base, sp.carved, sp.chunks)
+			}
+			if sp.live+len(sp.freeList) != sp.carved {
+				return fmt.Errorf("malloc: span 0x%x live %d + free %d != carved %d",
+					sp.base, sp.live, len(sp.freeList), sp.carved)
+			}
+			for _, mem := range sp.freeList {
+				if mem < sp.base || mem >= sp.base+uint64(sp.pages)*vm.PageSize {
+					return fmt.Errorf("malloc: span 0x%x free list holds foreign 0x%x", sp.base, mem)
+				}
+			}
+		}
+		if err := nd.buddy.Check(); err != nil {
+			return fmt.Errorf("malloc: node %d buddy: %w", nd.node, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package malloc
+
+import (
+	"testing"
+
+	"mtmalloc/internal/sim"
+)
+
+// span4 builds a span of 4 synthetic entries (nil arenas, distinct fake
+// addresses starting at base) for direct depot testing.
+func span4(base uint64) []tcEntry {
+	s := make([]tcEntry, 4)
+	for i := range s {
+		s[i] = tcEntry{mem: base + uint64(i)*64}
+	}
+	return s
+}
+
+// TestLFDepotAccounting pins the Treiber depot's policy arithmetic against
+// the mutex depot's: same hit/miss/donate/overflow counters, same byte caps
+// — only the synchronization pricing differs (CAS, and zero lock
+// acquisitions by construction).
+func TestLFDepotAccounting(t *testing.T) {
+	m, _ := newWorld(1, 3)
+	var stats Stats
+	d := newLFDepot(m, "lf", 8, 4*64*6, 45, &stats) // byte cap: six 4-chunk spans of class 64
+	err := m.Run(func(th *sim.Thread) {
+		if _, ok := d.get(th, 64); ok {
+			t.Error("empty depot served a span")
+		}
+		if stats.DepotMisses != 1 {
+			t.Errorf("DepotMisses = %d, want 1", stats.DepotMisses)
+		}
+		for i := 0; i < 6; i++ {
+			if !d.put(th, 64, span4(uint64(0x1000*(i+1)))) {
+				t.Fatalf("put %d refused below the byte cap", i)
+			}
+		}
+		if d.put(th, 64, span4(0x9000)) {
+			t.Error("put above the byte cap accepted")
+		}
+		if stats.DepotDonates != 6 || stats.DepotOverflows != 1 {
+			t.Errorf("donates/overflows = %d/%d, want 6/1", stats.DepotDonates, stats.DepotOverflows)
+		}
+		if d.chunkCount() != 24 || d.byteCount() != 24*64 {
+			t.Errorf("parked = %d chunks / %d bytes, want 24 / %d", d.chunkCount(), d.byteCount(), 24*64)
+		}
+		// LIFO: the last donation pops first.
+		span, ok := d.get(th, 64)
+		if !ok || span[0].mem != 0x6000 {
+			t.Errorf("got span base 0x%x, want LIFO top 0x6000", span[0].mem)
+		}
+		if stats.DepotHits != 1 {
+			t.Errorf("DepotHits = %d, want 1", stats.DepotHits)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.lockAcqs(); got != 0 {
+		t.Errorf("lockAcqs = %d; the lock-free depot must never lock", got)
+	}
+	cs := d.casStats()
+	// 6 accepted puts + 1 successful get = 7 CAS updates; the overflow and
+	// the empty get never touch the head word.
+	if cs.CASAttempts != 7 || cs.Acquisitions != 7 {
+		t.Errorf("casStats = %+v, want 7 attempts/updates", cs)
+	}
+	seen := make(map[uint64]bool)
+	if err := d.check(seen, func(tcEntry) error { return nil }); err != nil {
+		t.Errorf("check: %v", err)
+	}
+	if len(seen) != 20 {
+		t.Errorf("check visited %d chunks, want 20", len(seen))
+	}
+}
+
+// TestLFDepotScavengeSnapshot verifies the detach/re-attach scavenge: oldest
+// spans leave first, the fractional decay remainder carries across epochs,
+// and the class's byte counter always matches its span list afterwards (the
+// no-torn-reads invariant check() enforces).
+func TestLFDepotScavengeSnapshot(t *testing.T) {
+	m, _ := newWorld(1, 3)
+	var stats Stats
+	d := newLFDepot(m, "lf", 16, 0, 45, &stats)
+	err := m.Run(func(th *sim.Thread) {
+		for i := 0; i < 3; i++ {
+			if !d.put(th, 64, span4(uint64(0x1000*(i+1)))) {
+				t.Fatal("put refused")
+			}
+		}
+		cutoff := th.Now() + 1 // everything is idle relative to this
+		// 50% of 3 spans = 1.5: one span out now, remainder 50 carried.
+		spans, chunks, bytes := d.scavenge(th, cutoff, 50)
+		if len(spans) != 1 || chunks != 4 || bytes != 4*64 {
+			t.Fatalf("scavenge = %d spans/%d chunks/%d bytes, want 1/4/%d", len(spans), chunks, bytes, 4*64)
+		}
+		if spans[0][0].mem != 0x1000 {
+			t.Errorf("scavenged span base 0x%x, want oldest 0x1000", spans[0][0].mem)
+		}
+		if d.classes[64].decayRem != 50 {
+			t.Errorf("decayRem = %d, want 50", d.classes[64].decayRem)
+		}
+		if err := d.check(make(map[uint64]bool), func(tcEntry) error { return nil }); err != nil {
+			t.Errorf("check after scavenge: %v", err)
+		}
+		// Next epoch: 50% of 2 spans + 50 carry = 1.5 -> one more span.
+		spans, _, _ = d.scavenge(th, th.Now()+1, 50)
+		if len(spans) != 1 || spans[0][0].mem != 0x2000 {
+			t.Fatalf("second scavenge took %d spans (base 0x%x), want the next-oldest 0x2000",
+				len(spans), spans[0][0].mem)
+		}
+		if d.chunkCount() != 4 || d.byteCount() != 4*64 {
+			t.Errorf("parked after scavenges = %d/%d, want 4 chunks/%d bytes",
+				d.chunkCount(), d.byteCount(), 4*64)
+		}
+		if err := d.check(make(map[uint64]bool), func(tcEntry) error { return nil }); err != nil {
+			t.Errorf("check after second scavenge: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package malloc
+
+import (
+	"mtmalloc/internal/heap"
+	"mtmalloc/internal/sim"
+	"mtmalloc/internal/vm"
+)
+
+// NewLockFree creates the fifth design under study: the thread cache with
+// every shared tier re-priced from mutexes to CAS. Structurally it is the
+// same machine as NewThreadCache — magazines, depot, node-sharded placement,
+// scavenger — with three substitutions:
+//
+//   - the depot's per-class mutexes become Treiber span stacks (lfdepot.go),
+//     so a magazine miss or flush pays one CAS instead of a lock round trip
+//     and a preempted thread can never convoy the class;
+//   - pool-shard arena selection becomes a priced atomic cursor, the list
+//     lock only guarding shard growth;
+//   - cacheable refills bypass the arenas entirely: spans are carved from a
+//     per-node non-blocking buddy page allocator (heap.Buddy) whose level
+//     bitmaps are claimed and coalesced by CAS, and a span's last returning
+//     chunk frees its whole block back.
+//
+// Magazines additionally re-home after a scheduler migration (CacheRehome),
+// since without arena ownership nothing else would repatriate a migrated
+// thread's remotely-placed chunks.
+//
+// Experiment D5 ablates this design against the four mutex-priced ones: its
+// depot lock acquisitions are zero by construction, and its contention
+// surfaces in Stats.CASAttempts/CASFails/CASRetryCycles instead.
+func NewLockFree(t *sim.Thread, as *vm.AddressSpace, params heap.Params, costs CostParams) (*ThreadCache, error) {
+	costs.DepotLockFree = true
+	costs.BuddyBackend = true
+	costs.CacheRehome = true
+	return newThreadCacheNamed(t, "lockfree", as, params, costs)
+}

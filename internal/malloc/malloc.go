@@ -29,6 +29,15 @@
 //     arena-lock frees. Each depot class parks at most DepotCap spans;
 //     overflow falls through to tier 3, the CPU-bounded shared arena pool.
 //
+//   - LockFree: the thread cache with its shared tiers re-priced from
+//     mutexes to CAS (the D5 ablation): the depot becomes per-class Treiber
+//     span stacks (lfdepot.go), pool-shard arena selection becomes an atomic
+//     cursor, magazines re-home after a node migration (CacheRehome), and
+//     cacheable refills bypass the arenas entirely, carving spans out of a
+//     non-blocking buddy page allocator (heap.Buddy) whose level bitmaps are
+//     updated by CAS. Its depot lock acquisitions are zero by construction;
+//     the contention it does pay surfaces in Stats.CASAttempts/CASFails.
+//
 // All variants serve requests at or above the mmap threshold from dedicated
 // anonymous mappings, as glibc does ("mmap() for allocation requests larger
 // than 32 pages"). A fourth, orthogonal tier lives in the vm layer: the
@@ -219,6 +228,36 @@ type CostParams struct {
 	// machine the sharded and blind paths are the same code with one shard,
 	// so the flag has no effect there.
 	NUMANodeBlind bool
+
+	// DepotLockFree replaces the depot's per-class mutexes with Treiber span
+	// stacks priced by the CAS model (lfdepot.go) and makes pool-shard arena
+	// selection read-mostly: the round-robin cursor becomes a priced atomic
+	// fetch-add, and the list lock is only taken to grow a shard. The mutex
+	// pricing — and every pre-existing design's numbers — is untouched when
+	// the flag is off.
+	DepotLockFree bool
+	// BuddyBackend routes cacheable-size refills to a non-blocking buddy page
+	// allocator (heap.Buddy, one per node) instead of the mutex-guarded
+	// arenas: magazine misses carve chunks from buddy-backed spans and whole
+	// blocks return to the buddy when their last chunk comes home, so the
+	// small-object path acquires no arena lock at all. Set (with
+	// DepotLockFree and CacheRehome) by NewLockFree.
+	BuddyBackend bool
+	// BuddyZonePages sizes the buddy backend's zones in pages (rounded up to
+	// a power of two; 0 takes heap.DefaultBuddyZonePages).
+	BuddyZonePages int
+	// BuddyCarveWork and BuddyReturnWork are the per-chunk cycles of the
+	// buddy span carve and return paths (the lock-free analogue of the arena
+	// malloc/free work; zero takes the defaults).
+	BuddyCarveWork  int64
+	BuddyReturnWork int64
+
+	// CacheRehome re-homes a thread's magazine when the scheduler migrates it
+	// to another NUMA node: on the first operation that observes the node
+	// change, chunks owned by other nodes are released home and the home
+	// arena is re-picked on the new node's shard. Off by default (the D4
+	// designs keep their measured placement drift); NewLockFree turns it on.
+	CacheRehome bool
 }
 
 // DefaultMmapReuseCap is the parked-bytes cap NewThreadCache applies when
@@ -235,6 +274,15 @@ const DefaultDepotCapBytes = 64 << 10
 // DefaultScavengeTrimPad is the per-arena resident pad NewThreadCache keeps
 // at each top chunk when ScavengeTrimPad is zero.
 const DefaultScavengeTrimPad = 64 << 10
+
+// DefaultBuddyCarveWork and DefaultBuddyReturnWork are the per-chunk cycles
+// of the buddy backend's span carve and return (the lock-free counterparts
+// of the arena's boundary-tag malloc/free work, cheaper because a span carve
+// is a bump pointer and a return is a list push).
+const (
+	DefaultBuddyCarveWork  = 40
+	DefaultBuddyReturnWork = 30
+)
 
 // DefaultScavengeBinPad is the per-arena resident pad of binned-chunk
 // interior the binned release keeps when ScavengeBinPad is zero. A quarter
@@ -332,8 +380,27 @@ type Stats struct {
 	RemoteAccesses     uint64
 	RemoteAccessCycles uint64
 	RemoteFaults       uint64
-	ArenaCount         int
-	Heap               heap.Stats // summed over arenas
+	// Contention-point counters (experiment D5's currency). DepotLockAcqs
+	// sums the depot class-lock acquisitions — zero by construction on the
+	// lock-free depot, whose traffic shows up in the CAS counters instead.
+	// CASAttempts/CASFails/CASRetryCycles aggregate every CAS point the
+	// allocator owns: depot stack heads, pool-shard cursors and the buddy
+	// backend's bitmap words.
+	DepotLockAcqs  uint64
+	CASAttempts    uint64
+	CASFails       uint64
+	CASRetryCycles uint64
+	// Magazine re-homing counters (CacheRehome).
+	CacheRehomes  uint64 // thread caches re-homed after a node migration
+	RehomedChunks uint64 // chunks released home by those re-homings
+	// Buddy page-backend counters (BuddyBackend; mirrors heap.BuddyStats).
+	BuddyAllocs    uint64 // block allocations served by the buddy
+	BuddyFrees     uint64 // whole blocks returned to the buddy
+	BuddySplits    uint64 // block splits on the alloc path
+	BuddyMerges    uint64 // buddy coalesces on the free path
+	BuddyGrowLocks uint64 // grow-lock acquisitions (the only locked buddy path)
+	ArenaCount     int
+	Heap           heap.Stats // summed over arenas
 }
 
 // Allocator is the public allocator interface: the system malloc/free pair

@@ -166,7 +166,7 @@ func TestRemoteFreeRoutesToOwnerDepot(t *testing.T) {
 			if st.RemoteBytes == 0 {
 				t.Error("RemoteBytes = 0")
 			}
-			owner := al.depots[prodNode]
+			owner := al.depots[prodNode].(*transferCache)
 			found := 0
 			for _, dc := range owner.classes {
 				for _, span := range dc.spans {

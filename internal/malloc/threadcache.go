@@ -60,12 +60,21 @@ type ThreadCache struct {
 
 	// depots are the central transfer caches, one per node shard (a single
 	// entry on flat or node-blind machines); nil when disabled (DepotCap<0).
-	depots []*transferCache
+	// The implementation is pluggable (depot.go): per-class mutexes by
+	// default, Treiber CAS stacks under DepotLockFree.
+	depots []depot
 
 	// shards is the node-sharded arena pool; a single shard with node -1
 	// covers the whole machine when flat or node-blind.
 	shards    []*poolShard
 	nodeBlind bool
+
+	// lf is the buddy page backend (BuddyBackend): cacheable refills carve
+	// spans from it instead of locking arenas. nil for the mutex designs.
+	lf *lfBackend
+	// rehome re-homes a migrated thread's magazine on the first operation
+	// that observes its node changed (CacheRehome).
+	rehome bool
 
 	batch     int
 	highWater int
@@ -107,6 +116,12 @@ type poolShard struct {
 	arenas []*heap.Arena
 	next   int
 	cap    int
+	// cursor prices the round-robin selection as an atomic fetch-add when the
+	// pool is read-mostly (DepotLockFree): home-arena picks happen only on a
+	// thread's first miss and after a migration, and never take the list lock
+	// — that is reserved for growing the shard. nil (unpriced Go-side
+	// bookkeeping, the historic behaviour) for the mutex designs.
+	cursor *sim.CASPoint
 }
 
 // tcClass is one exact-chunk-size free list in a thread's cache (LIFO),
@@ -138,6 +153,9 @@ type tcache struct {
 	// the scavenger's magazine source treats caches idle since before its
 	// cutoff as reclaimable.
 	lastOp sim.Time
+	// node is the NUMA node the owner was last seen on (-1 until rehoming
+	// observes one); only maintained when CacheRehome is on.
+	node int
 }
 
 // classOf returns (creating if needed) the cache's class for chunk size csz,
@@ -158,6 +176,14 @@ func (tc *ThreadCache) classOf(c *tcache, csz uint32) *tcClass {
 // NewThreadCache creates the thread-cache allocator on as. Zero-valued cache
 // knobs in costs take the DefaultCostParams values.
 func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, costs CostParams) (*ThreadCache, error) {
+	return newThreadCacheNamed(t, "threadcache", as, params, costs)
+}
+
+// newThreadCacheNamed is the shared constructor behind NewThreadCache and
+// NewLockFree: the two designs are one machine differing only in the costs
+// flags that pick the depot implementation, the pool-cursor pricing, the
+// page backend and the rehoming policy.
+func newThreadCacheNamed(t *sim.Thread, name string, as *vm.AddressSpace, params heap.Params, costs CostParams) (*ThreadCache, error) {
 	def := DefaultCostParams()
 	if costs.CacheHit == 0 {
 		costs.CacheHit = def.CacheHit
@@ -206,7 +232,13 @@ func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, cost
 	if costs.ScavengeWork == 0 {
 		costs.ScavengeWork = def.ScavengeWork
 	}
-	b, err := newBase(t, "threadcache", as, params, costs)
+	if costs.BuddyCarveWork == 0 {
+		costs.BuddyCarveWork = DefaultBuddyCarveWork
+	}
+	if costs.BuddyReturnWork == 0 {
+		costs.BuddyReturnWork = DefaultBuddyReturnWork
+	}
+	b, err := newBase(t, name, as, params, costs)
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +254,7 @@ func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, cost
 		maxBlock:   costs.CacheMax,
 		adaptive:   costs.CacheAdaptive >= 0,
 		growStreak: costs.CacheGrowStreak,
+		rehome:     costs.CacheRehome,
 	}
 	// Shard the pool by node unless the machine is flat or the profile asked
 	// for the node-blind baseline. The single-shard case is the original
@@ -244,18 +277,32 @@ func NewThreadCache(t *sim.Thread, as *vm.AddressSpace, params heap.Params, cost
 		}
 		as.SetReuseNodeAffinity(true)
 	}
+	if costs.DepotLockFree {
+		// Read-mostly pool: the shards' round-robin cursors become priced
+		// atomic fetch-adds (the list lock now guards growth only).
+		for _, sh := range tc.shards {
+			sh.cursor = as.Machine().NewCASPoint(fmt.Sprintf("%s.pool.n%d", b.name, sh.node))
+		}
+	}
 	if costs.DepotCap > 0 {
 		capBytes := costs.DepotCapBytes
 		if capBytes < 0 {
 			capBytes = 0 // legacy span-count cap
 		}
 		for range tc.shards {
-			name := b.name
+			dname := b.name
 			if len(tc.shards) > 1 {
-				name = fmt.Sprintf("%s.n%d", b.name, len(tc.depots))
+				dname = fmt.Sprintf("%s.n%d", b.name, len(tc.depots))
 			}
-			tc.depots = append(tc.depots, newTransferCache(as.Machine(), name, costs.DepotCap, capBytes, costs.DepotXfer, &b.stats))
+			if costs.DepotLockFree {
+				tc.depots = append(tc.depots, newLFDepot(as.Machine(), dname, costs.DepotCap, capBytes, costs.DepotXfer, &b.stats))
+			} else {
+				tc.depots = append(tc.depots, newTransferCache(as.Machine(), dname, costs.DepotCap, capBytes, costs.DepotXfer, &b.stats))
+			}
 		}
+	}
+	if costs.BuddyBackend {
+		tc.lf = newLFBackend(b.name, as, tc.shards, costs, &b.stats)
 	}
 	if costs.ScavengeInterval > 0 {
 		tc.scav = tc.newScavenger(costs)
@@ -277,7 +324,7 @@ func (tc *ThreadCache) shardOf(t *sim.Thread) *poolShard {
 
 // depotFor returns the depot of the given node (the single depot when the
 // pool is flat or node-blind), nil when the depot tier is disabled.
-func (tc *ThreadCache) depotFor(node int) *transferCache {
+func (tc *ThreadCache) depotFor(node int) depot {
 	if len(tc.depots) == 0 {
 		return nil
 	}
@@ -293,11 +340,54 @@ func (tc *ThreadCache) cacheOf(t *sim.Thread) *tcache {
 	t.Charge(sim.Time(tc.costs.TSDRead))
 	c := tc.caches[t.ID()]
 	if c == nil {
-		c = &tcache{classes: make(map[uint32]*tcClass)}
+		c = &tcache{classes: make(map[uint32]*tcClass), node: -1}
 		tc.caches[t.ID()] = c
+	}
+	if tc.rehome && tc.sharded() {
+		if n := t.Node(); c.node != n {
+			if c.node >= 0 {
+				tc.rehomeCache(t, c, n)
+			}
+			c.node = n
+		}
 	}
 	c.lastOp = t.Now()
 	return c
+}
+
+// rehomeCache reacts to the scheduler migrating the cache's owner to another
+// node: chunks whose memory lives on other nodes are released home (depot
+// spans or arena frees, via the ordinary release routing), pending remote
+// buffers go with them, and the home arena is dropped so the next refill
+// re-picks one on the new node's shard. Chunks already local to the new node
+// stay parked — the magazine keeps its warm, correctly-placed subset.
+func (tc *ThreadCache) rehomeCache(t *sim.Thread, c *tcache, node int) {
+	tc.stats.CacheRehomes++
+	for _, csz := range sortedKeys(c.classes) {
+		cl := c.classes[csz]
+		keep := cl.entries[:0]
+		var evict []tcEntry
+		for _, e := range cl.entries {
+			if tc.nodeOfEntry(e) == node {
+				keep = append(keep, e)
+			} else {
+				evict = append(evict, e)
+			}
+		}
+		cl.entries = keep
+		if len(cl.remote) > 0 {
+			evict = append(evict, cl.remote...)
+			cl.remote = nil
+		}
+		if len(evict) == 0 {
+			continue
+		}
+		tc.stats.RehomedChunks += uint64(len(evict))
+		if err := tc.release(t, csz, evict); err != nil {
+			panic(fmt.Sprintf("malloc: re-homing magazine: %v", err))
+		}
+	}
+	c.home = nil
 }
 
 // homeArena returns (assigning if needed) the thread's home arena. Threads
@@ -309,6 +399,11 @@ func (tc *ThreadCache) homeArena(t *sim.Thread, c *tcache) (*heap.Arena, error) 
 		return c.home, nil
 	}
 	sh := tc.shardOf(t)
+	if sh.cursor != nil {
+		// Read-mostly pool: the shared cursor bump is a priced fetch-add, not
+		// a lock. It fires only on first assignment and after migrations.
+		t.AtomicAdd(sh.cursor)
+	}
 	idx := sh.next % sh.cap
 	sh.next++
 	if idx < len(sh.arenas) {
@@ -375,6 +470,15 @@ func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 				tc.lastArena[t.ID()] = e.arena
 				return e.mem, nil
 			}
+		}
+		if tc.lf != nil {
+			// Tier 3, lock-free design: carve a batch from the buddy backend
+			// — no arena, no lock; the contention is the buddy's bitmap CAS.
+			mem, err := tc.buddyBatch(t, c, sz)
+			if err == nil {
+				tc.userMallocs++
+			}
+			return mem, err
 		}
 		mem, err := tc.arenaBatch(t, c, size, tc.batch-1, tc.costs.CacheRefill+tc.costs.WorkMalloc)
 		if err == nil {
@@ -464,12 +568,42 @@ func (tc *ThreadCache) arenaBatch(t *sim.Thread, c *tcache, req uint32, extra in
 	}
 }
 
+// buddyBatch refills one class from the buddy backend: one user chunk plus
+// batch-1 parked, charged like an arena batch refill but with no lock — the
+// only shared state touched is the buddy's bitmap, priced by CAS.
+func (tc *ThreadCache) buddyBatch(t *sim.Thread, c *tcache, sz uint32) (uint64, error) {
+	t.Charge(sim.Time(tc.costs.CacheRefill + tc.costs.WorkMalloc))
+	entries, err := tc.lf.refill(t, t.Node(), sz, tc.batch, tc.batch)
+	if err != nil {
+		return 0, err
+	}
+	tc.stats.CacheRefills++
+	e := entries[len(entries)-1]
+	if len(entries) > 1 {
+		cl := tc.classOf(c, sz)
+		cl.entries = append(cl.entries, entries[:len(entries)-1]...)
+		cl.streak = 0
+	}
+	tc.lastArena[t.ID()] = nil
+	return e.mem, nil
+}
+
 // Free parks cacheable chunks on the local cache without locking; a class
 // crossing its high-water mark is flushed back in arena-grouped batches.
 func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 	t.MaybeYield()
 	tc.opCharge(t, 0, tc.lastArena[t.ID()])
 	tc.maybeScavenge(t)
+	if tc.lf != nil {
+		// Buddy-backed chunks never belong to an arena and carry no chunk
+		// header: route them by span before any header sniffing. The
+		// mmapped-chunk probe reads the size word below mem, which for a
+		// buddy chunk is a neighbour's user bytes — data that can fake the
+		// IsMmapped flag and send the chunk to a bogus munmap.
+		if sp := tc.lf.spanOf(t, mem, tc.costs.TSDRead); sp != nil {
+			return tc.freeBuddy(t, mem, sp)
+		}
+	}
 	if done, err := tc.freeIfMmapped(t, mem); done {
 		return err
 	}
@@ -517,6 +651,43 @@ func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 		tc.userFrees++
 	}
 	return ferr
+}
+
+// freeBuddy parks a buddy-backed chunk exactly like an arena-owned one —
+// local magazine, remote buffer for other nodes' memory — except that the
+// owning node comes from the span and the eventual flush returns the chunk
+// to its span instead of an arena lock.
+func (tc *ThreadCache) freeBuddy(t *sim.Thread, mem uint64, sp *lfSpan) error {
+	c := tc.cacheOf(t)
+	csz := sp.csz
+	if csz >= heap.MinChunk && csz <= tc.maxBlock {
+		t.Charge(sim.Time(tc.costs.CacheHit))
+		tc.userFrees++
+		cl := tc.classOf(c, csz)
+		if tc.sharded() && sp.node >= 0 && sp.node != t.Node() {
+			tc.stats.RemoteFrees++
+			tc.stats.RemoteBytes += uint64(csz)
+			cl.remote = append(cl.remote, tcEntry{mem: mem})
+			if len(cl.remote) >= tc.batch {
+				victims := cl.remote
+				cl.remote = nil
+				return tc.release(t, csz, victims)
+			}
+			return nil
+		}
+		cl.entries = append(cl.entries, tcEntry{mem: mem})
+		if len(cl.entries) > cl.mark {
+			return tc.flushClass(t, cl)
+		}
+		return nil
+	}
+	// Oversized buddy chunks (no current path carves one) return straight to
+	// their span.
+	if err := tc.lf.returnChunk(t, mem); err != nil {
+		return err
+	}
+	tc.userFrees++
+	return nil
 }
 
 // growOnStreak advances a class's hit streak and grows its adaptive mark by
@@ -604,14 +775,14 @@ func (tc *ThreadCache) release(t *sim.Thread, csz uint32, victims []tcEntry) err
 	// Unbound arenas (the main arena) count as node 0. Refusals fall into
 	// one combined arena flush.
 	sort.SliceStable(victims, func(i, j int) bool {
-		return tc.nodeOfArena(victims[i].arena) < tc.nodeOfArena(victims[j].arena)
+		return tc.nodeOfEntry(victims[i]) < tc.nodeOfEntry(victims[j])
 	})
 	var leftovers []tcEntry
 	i := 0
 	for i < len(victims) {
-		node := tc.nodeOfArena(victims[i].arena)
+		node := tc.nodeOfEntry(victims[i])
 		j := i
-		for j < len(victims) && tc.nodeOfArena(victims[j].arena) == node {
+		for j < len(victims) && tc.nodeOfEntry(victims[j]) == node {
 			j++
 		}
 		run := victims[i:j]
@@ -643,6 +814,21 @@ func (tc *ThreadCache) nodeOfArena(a *heap.Arena) int {
 	return a.Node
 }
 
+// nodeOfEntry maps a cached chunk to its owning node: the arena's node for
+// arena chunks, the span's for buddy-backed ones (unbound either way counts
+// as node 0).
+func (tc *ThreadCache) nodeOfEntry(e tcEntry) int {
+	if e.arena == nil {
+		if tc.lf != nil {
+			if sp := tc.lf.spanAt(e.mem); sp != nil && sp.node >= 0 {
+				return sp.node
+			}
+		}
+		return 0
+	}
+	return tc.nodeOfArena(e.arena)
+}
+
 // flush frees victims into their owning arenas. Victims are pre-sorted by
 // arena index so interleaved cross-arena batches still take each arena's
 // lock exactly once; the sort is stable, preserving LIFO order within an
@@ -654,6 +840,18 @@ func (tc *ThreadCache) flush(t *sim.Thread, victims []tcEntry) error {
 	}
 	tc.stats.CacheFlushes++
 	t.Charge(sim.Time(tc.costs.CacheFlush))
+	if tc.lf != nil {
+		// Buddy-backed victims return to their spans lock-free; only the
+		// arena-owned remainder (if any) takes locks below.
+		rest, err := tc.lf.takeReturns(t, victims)
+		if err != nil {
+			return err
+		}
+		if len(rest) == 0 {
+			return nil
+		}
+		victims = rest
+	}
 	sort.SliceStable(victims, func(i, j int) bool {
 		return victims[i].arena.Index < victims[j].arena.Index
 	})
@@ -701,8 +899,32 @@ func (tc *ThreadCache) DetachThread(t *sim.Thread) {
 }
 
 // Realloc resizes mem with C semantics. A chunk being resized is owned by
-// the user, never parked in a cache, so the shared path applies unchanged.
+// the user, never parked in a cache, so the shared path applies unchanged —
+// except buddy-backed chunks, which live outside every arena and are resized
+// here (in place within their class, moved through Malloc otherwise).
 func (tc *ThreadCache) Realloc(t *sim.Thread, mem uint64, size uint32) (uint64, error) {
+	if tc.lf != nil && mem != 0 && size != 0 {
+		if sp := tc.lf.spanAt(mem); sp != nil {
+			t.MaybeYield()
+			t.Charge(sim.Time(tc.costs.TSDRead))
+			sz := tc.params.Request2Size(size)
+			if sz == sp.csz {
+				return mem, nil // same class: the chunk already fits
+			}
+			np, err := tc.Malloc(t, size)
+			if err != nil {
+				return 0, fmt.Errorf("realloc: %w", err)
+			}
+			n := size
+			if sp.csz < n {
+				n = sp.csz
+			}
+			// Chunk-format copies route through the main arena by convention
+			// (as mmapped chunks do); the addresses are plain mapped memory.
+			tc.arenas[0].CopyPayload(t, np, mem, n)
+			return np, tc.Free(t, mem)
+		}
+	}
 	return reallocOn(tc, tc.base, t, mem, size)
 }
 
@@ -728,6 +950,30 @@ func (tc *ThreadCache) Stats() Stats {
 	for _, depot := range tc.depots {
 		s.DepotChunks += depot.chunkCount()
 		s.DepotBytes += depot.byteCount()
+		s.DepotLockAcqs += depot.lockAcqs()
+		cs := depot.casStats()
+		s.CASAttempts += cs.CASAttempts
+		s.CASFails += cs.CASFails
+		s.CASRetryCycles += uint64(cs.WaitCycles)
+	}
+	for _, sh := range tc.shards {
+		if sh.cursor != nil {
+			cs := sh.cursor.PointStats()
+			s.CASAttempts += cs.CASAttempts
+			s.CASFails += cs.CASFails
+			s.CASRetryCycles += uint64(cs.WaitCycles)
+		}
+	}
+	if tc.lf != nil {
+		bs := tc.lf.bStats()
+		s.BuddyAllocs = bs.Allocs
+		s.BuddyFrees = bs.Frees
+		s.BuddySplits = bs.Splits
+		s.BuddyMerges = bs.Merges
+		s.BuddyGrowLocks = bs.GrowLockAcqs
+		s.CASAttempts += bs.CASAttempts
+		s.CASFails += bs.CASFails
+		s.CASRetryCycles += uint64(bs.RetryCycles)
 	}
 	if tc.scav != nil {
 		sc := tc.scav.Stats()
@@ -753,6 +999,21 @@ func (tc *ThreadCache) Check() error {
 		return err
 	}
 	seen := make(map[uint64]bool)
+	// owns validates one cached chunk's provenance: inside its recorded arena,
+	// or — for the nil-arena entries of the lock-free design — a carved chunk
+	// of a live buddy span.
+	owns := func(e tcEntry) error {
+		if e.arena == nil {
+			if tc.lf == nil {
+				return fmt.Errorf("cached 0x%x has no arena and no buddy backend", e.mem)
+			}
+			return tc.lf.ownsChunk(e.mem)
+		}
+		if !e.arena.Contains(e.mem - heap.HeaderSz) {
+			return fmt.Errorf("cached 0x%x outside arena %d", e.mem, e.arena.Index)
+		}
+		return nil
+	}
 	for tid, c := range tc.caches {
 		for _, cl := range c.classes {
 			for _, list := range [][]tcEntry{cl.entries, cl.remote} {
@@ -761,17 +1022,18 @@ func (tc *ThreadCache) Check() error {
 						return fmt.Errorf("malloc: chunk 0x%x cached twice", e.mem)
 					}
 					seen[e.mem] = true
-					if !e.arena.Contains(e.mem - heap.HeaderSz) {
-						return fmt.Errorf("malloc: thread %d cached 0x%x outside arena %d", tid, e.mem, e.arena.Index)
+					if err := owns(e); err != nil {
+						return fmt.Errorf("malloc: thread %d: %w", tid, err)
 					}
 				}
 			}
 			// A remote buffer must only ever hold chunks owned away from the
 			// pool shards' local arenas; on a sharded pool every buffered
-			// entry's arena is node-bound by construction.
+			// arena-owned entry's arena is node-bound by construction (buddy
+			// chunks carry their node on the span instead).
 			if tc.sharded() {
 				for _, e := range cl.remote {
-					if e.arena.Node < 0 {
+					if e.arena != nil && e.arena.Node < 0 {
 						return fmt.Errorf("malloc: remote buffer holds 0x%x from unbound arena %d", e.mem, e.arena.Index)
 					}
 				}
@@ -779,7 +1041,12 @@ func (tc *ThreadCache) Check() error {
 		}
 	}
 	for _, depot := range tc.depots {
-		if err := depot.check(seen); err != nil {
+		if err := depot.check(seen, owns); err != nil {
+			return err
+		}
+	}
+	if tc.lf != nil {
+		if err := tc.lf.check(); err != nil {
 			return err
 		}
 	}

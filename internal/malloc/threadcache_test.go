@@ -11,17 +11,19 @@ import (
 
 func TestKindsIncludesThreadCache(t *testing.T) {
 	kinds := Kinds()
-	if len(kinds) != 4 {
-		t.Fatalf("Kinds() = %v, want 4 designs", kinds)
+	if len(kinds) != 5 {
+		t.Fatalf("Kinds() = %v, want 5 designs", kinds)
 	}
-	found := false
-	for _, k := range kinds {
-		if k == KindThreadCache {
-			found = true
+	for _, want := range []Kind{KindThreadCache, KindLockFree} {
+		found := false
+		for _, k := range kinds {
+			if k == want {
+				found = true
+			}
 		}
-	}
-	if !found {
-		t.Fatalf("Kinds() = %v missing %q", kinds, KindThreadCache)
+		if !found {
+			t.Fatalf("Kinds() = %v missing %q", kinds, want)
+		}
 	}
 }
 

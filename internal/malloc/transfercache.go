@@ -3,7 +3,6 @@ package malloc
 import (
 	"fmt"
 
-	"mtmalloc/internal/heap"
 	"mtmalloc/internal/sim"
 )
 
@@ -178,9 +177,9 @@ func (d *transferCache) byteCount() uint64 {
 }
 
 // check verifies depot invariants against the caller's duplicate set: every
-// parked chunk lies inside the arena recorded for it and appears in at most
-// one cache slot anywhere (magazines included).
-func (d *transferCache) check(seen map[uint64]bool) error {
+// parked chunk passes the ownership check and appears in at most one cache
+// slot anywhere (magazines included).
+func (d *transferCache) check(seen map[uint64]bool, owns func(tcEntry) error) error {
 	for _, csz := range sortedKeys(d.classes) {
 		for _, span := range d.classes[csz].spans {
 			for _, e := range span {
@@ -188,11 +187,26 @@ func (d *transferCache) check(seen map[uint64]bool) error {
 					return fmt.Errorf("malloc: chunk 0x%x cached twice (depot class %d)", e.mem, csz)
 				}
 				seen[e.mem] = true
-				if !e.arena.Contains(e.mem - heap.HeaderSz) {
-					return fmt.Errorf("malloc: depot class %d holds 0x%x outside arena %d", csz, e.mem, e.arena.Index)
+				if err := owns(e); err != nil {
+					return fmt.Errorf("malloc: depot class %d: %w", csz, err)
 				}
 			}
 		}
 	}
 	return nil
 }
+
+// lockAcqs sums the class-lock acquisitions — the depot-tier contention
+// counter experiment D5 expects to collapse to zero on the lock-free depot.
+func (d *transferCache) lockAcqs() uint64 {
+	n := uint64(0)
+	for _, dc := range d.classes {
+		n += dc.lock.Acquisitions
+	}
+	return n
+}
+
+// casStats implements depot: the mutex depot performs no CAS operations.
+func (d *transferCache) casStats() sim.PointStats { return sim.PointStats{} }
+
+var _ depot = (*transferCache)(nil)

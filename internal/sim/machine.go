@@ -42,6 +42,23 @@ type Costs struct {
 	// it lives here because it is a property of the machine, not of one
 	// address space.
 	RemoteAccess float64
+
+	// CAS is the cost of one uncontended compare-and-swap (or fetch-add) on
+	// a CASPoint; zero means "same as MutexAtomic".
+	CAS Time
+	// CASFail is the cost of one failed CAS attempt: a cache-line transfer
+	// plus the reread and recompute before retrying. Zero means
+	// 4*MutexAtomic — a failed CAS is the hardware half of MutexHandoff,
+	// without any scheduler involvement.
+	CASFail Time
+	// CASHotWindow bounds the concurrent-writer estimate on a CASPoint: a
+	// thread whose last committed update lies within this many cycles of the
+	// caller's clock (either side — committed batches skew clocks both ways)
+	// counts as racing. Zero means 4000 cycles, a few critical sections.
+	CASHotWindow Time
+	// CASMaxRetries caps the retries charged to one successful CAS; zero
+	// means 8. Negative disables the cap.
+	CASMaxRetries int
 }
 
 // DefaultCosts returns a reasonable late-1990s SMP cost model. Profiles in
@@ -98,6 +115,20 @@ func (c Config) withDefaults() Config {
 	if c.Costs == (Costs{}) {
 		c.Costs = DefaultCosts()
 	}
+	// CAS-model defaults are derived per field so that profile Costs built
+	// before the CAS model existed keep working unchanged.
+	if c.Costs.CAS == 0 {
+		c.Costs.CAS = c.Costs.MutexAtomic
+	}
+	if c.Costs.CASFail == 0 {
+		c.Costs.CASFail = 4 * c.Costs.MutexAtomic
+	}
+	if c.Costs.CASHotWindow == 0 {
+		c.Costs.CASHotWindow = 4000
+	}
+	if c.Costs.CASMaxRetries == 0 {
+		c.Costs.CASMaxRetries = 8
+	}
 	if c.BatchOps == 0 {
 		c.BatchOps = 256
 	}
@@ -138,6 +169,10 @@ type Machine struct {
 
 	rng      *xrand.RNG
 	engineCh chan *Thread // thread handing control back to the engine
+
+	// points registers every contention point (mutex or CAS) created on the
+	// machine, in creation order, for harness-level enumeration.
+	points []ContentionPoint
 
 	liveThreads int
 	ran         bool
@@ -488,6 +523,10 @@ func (m *Machine) checkAbort() {
 
 // Threads returns all threads ever created (finished or not).
 func (m *Machine) Threads() []*Thread { return m.threads }
+
+// Points returns every contention point created on the machine, in creation
+// order.
+func (m *Machine) Points() []ContentionPoint { return m.points }
 
 // RNG exposes the machine-level random stream (used by harness components
 // that need machine-scoped, thread-independent draws).

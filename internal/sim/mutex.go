@@ -56,7 +56,24 @@ type Mutex struct {
 // NewMutex creates a mutex on machine m. Mutexes must be created through the
 // machine so that contention costs come from its cost model.
 func (m *Machine) NewMutex(name string) *Mutex {
-	return &Mutex{Name: name, machine: m, lastOwner: -1}
+	mu := &Mutex{Name: name, machine: m, lastOwner: -1}
+	m.points = append(m.points, mu)
+	return mu
+}
+
+// PointName implements ContentionPoint.
+func (mu *Mutex) PointName() string { return mu.Name }
+
+// PointStats implements ContentionPoint.
+func (mu *Mutex) PointStats() PointStats {
+	return PointStats{
+		Acquisitions:  mu.Acquisitions,
+		Contended:     mu.Contended,
+		TryAcquires:   mu.TryAcquires,
+		TryFailures:   mu.TryFailures,
+		WaitCycles:    mu.WaitCycles,
+		HandoffEvents: mu.HandoffEvents,
+	}
 }
 
 // lockAt performs the analytic acquisition for thread t. It returns the

@@ -106,6 +106,17 @@ func (t *Thread) TryLock(mu *Mutex) bool { return mu.tryLockAt(t) }
 // Unlock releases mu.
 func (t *Thread) Unlock(mu *Mutex) { mu.unlockAt(t) }
 
+// CAS commits one compare-and-swap retry loop on p: the update always
+// succeeds eventually, and the analytic model charges the retries it took
+// (see CASPoint). Unlike Lock, there is no critical section: nothing is held
+// afterwards, so a preempted caller never blocks anyone.
+func (t *Thread) CAS(p *CASPoint) { p.update(t, true) }
+
+// AtomicAdd commits one unconditional atomic read-modify-write (fetch-add)
+// on p. It cannot fail, so contention costs a single line transfer instead
+// of a retry loop.
+func (t *Thread) AtomicAdd(p *CASPoint) { p.update(t, false) }
+
 // MaybeYield marks an operation boundary. Thread bodies (and the allocator
 // entry points) call it once per logical operation; every BatchOps
 // operations or BatchCycles simulated cycles the thread yields to the engine

@@ -27,6 +27,22 @@
 // hand-outs) that cross nodes, because only the vm layer knows where a
 // page lives. With the default single node the topology machinery is
 // entirely inert and the flat-SMP model of the paper is unchanged.
+//
+// # Contention points
+//
+// Synchronization pricing is unified under the ContentionPoint interface
+// with two disciplines. Mutexes (Thread.Lock/TryLock) resolve contention
+// analytically on the busy-timeline: acquisitions, handoff charges, waits,
+// trylock failures. CAS points (NewCASPoint, Thread.CAS/AtomicAdd) price
+// lock-free retry loops instead: a CAS estimates how many other threads
+// updated the word within the recent hot window (Costs.CASHotWindow) and
+// charges that many failed attempts (Costs.CASFail each, capped at
+// Costs.CASMaxRetries) before the successful one (Costs.CAS); AtomicAdd is
+// the fetch-and-add variant that contends but cannot fail. Both register in
+// the machine's point registry (Machine.Points) and report through the same
+// PointStats, so a mutex design and a lock-free design are directly
+// comparable: lock acquisitions and wait cycles on one side, CAS attempts,
+// fails and retry cycles on the other.
 package sim
 
 // Time is a point or duration in simulated CPU cycles. All costs in the

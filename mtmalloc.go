@@ -81,6 +81,7 @@ const (
 	PTMalloc    = malloc.KindPTMalloc
 	PerThread   = malloc.KindPerThread
 	ThreadCache = malloc.KindThreadCache
+	LockFree    = malloc.KindLockFree
 )
 
 // Benchmark harness types.
@@ -106,12 +107,14 @@ type (
 
 // Machine profiles of the paper's four hosts, plus the multi-node NUMA
 // family the locality experiment runs on.
-func DualPPro200() Profile         { return bench.DualPPro200() }
-func QuadXeon500() Profile         { return bench.QuadXeon500() }
-func SunUltra2x400() Profile       { return bench.SunUltra2x400() }
-func K6_400() Profile              { return bench.K6_400() }
-func NUMAServer(nodes int) Profile { return bench.NUMAServer(nodes) }
-func Profiles() map[string]Profile { return bench.Profiles() }
+func DualPPro200() Profile                    { return bench.DualPPro200() }
+func QuadXeon500() Profile                    { return bench.QuadXeon500() }
+func SunUltra2x400() Profile                  { return bench.SunUltra2x400() }
+func K6_400() Profile                         { return bench.K6_400() }
+func NUMAServer(nodes int) Profile            { return bench.NUMAServer(nodes) }
+func NUMAServerScale(nodes, cpus int) Profile { return bench.NUMAServerScale(nodes, cpus) }
+func OriginServer(nodes, cpus int) Profile    { return bench.OriginServer(nodes, cpus) }
+func Profiles() map[string]Profile            { return bench.Profiles() }
 
 // DefaultHeapParams mirrors glibc 2.0/2.1 defaults (128 KB trim and mmap
 // thresholds, 8-byte alignment).
