@@ -3,17 +3,28 @@
 // equivalent of ptmalloc's MALLOC_CHECK_ debugging extension for this
 // reproduction.
 //
+// The memory-pressure modes assert that the heap stays consistent while
+// allocations are failing underneath it: -memlimit caps the committed bytes
+// (vm.SetMemLimit), -memlimit-ratio first measures the unlimited run's peak
+// and reruns at that fraction of it, and -faultrate injects deterministic
+// mmap/sbrk failures. In any of those modes the workers treat an
+// out-of-memory malloc as a skipped operation (the emergency cascade already
+// retried it) — every other error, and any invariant break, still fails.
+//
 // Exit status is non-zero if any invariant breaks.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"mtmalloc/internal/bench"
+	"mtmalloc/internal/heap"
 	"mtmalloc/internal/malloc"
 	"mtmalloc/internal/sim"
+	"mtmalloc/internal/vm"
 	"mtmalloc/internal/xrand"
 )
 
@@ -28,6 +39,9 @@ func main() {
 	scavenge := flag.Int64("scavenge", 0, "scavenger epoch interval in cycles (0 off): tortures reclamation against the churn")
 	binnedRelease := flag.Bool("binned-release", false, "enable the PageHeap-style binned-chunk page release with no resident pad (implies -scavenge 50000 when -scavenge is 0): tortures interior releases against the churn")
 	nodes := flag.Int("nodes", 0, "override the profile's NUMA node count (0 keeps it): tortures node-sharded placement and cross-node free routing")
+	memLimit := flag.Uint64("memlimit", 0, "absolute commit limit in bytes (0 off): tortures the emergency reclamation cascade")
+	memLimitRatio := flag.Float64("memlimit-ratio", 0, "commit limit as a fraction of the unlimited run's peak committed bytes (0 off; measures peak with a first pass per seed)")
+	faultRate := flag.Float64("faultrate", 0, "probability of an injected mmap/sbrk failure per growth attempt (0 off; deterministic per seed)")
 	flag.Parse()
 	if *binnedRelease && *scavenge == 0 {
 		*scavenge = 50000
@@ -44,22 +58,68 @@ func main() {
 		}
 	}
 	for seed := 1; seed <= *seeds; seed++ {
-		if err := torture(prof, malloc.Kind(*allocator), *threads, *ops, *maxSize, *checkEvery, *scavenge, *binnedRelease, uint64(seed)); err != nil {
+		cfg := tortureConfig{
+			prof: prof, kind: malloc.Kind(*allocator),
+			threads: *threads, ops: *ops, maxSize: *maxSize, checkEvery: *checkEvery,
+			scavenge: *scavenge, binnedRelease: *binnedRelease,
+			memLimit: *memLimit, faultRate: *faultRate, seed: uint64(seed),
+		}
+		if *memLimitRatio > 0 {
+			base := cfg
+			base.memLimit, base.faultRate = 0, 0
+			r, err := torture(base)
+			if err != nil {
+				fatal(fmt.Errorf("seed %d (measuring pass): %w", seed, err))
+			}
+			cfg.memLimit = uint64(*memLimitRatio * float64(r.peakCommitted))
+		}
+		r, err := torture(cfg)
+		if err != nil {
 			fatal(fmt.Errorf("seed %d: %w", seed, err))
 		}
-		fmt.Printf("seed %d: ok\n", seed)
+		if cfg.pressured() {
+			fmt.Printf("seed %d: ok (peak %d KB, limit %d KB, %d emergency passes, %d retries, %d fails, %d skipped ops)\n",
+				seed, r.peakCommitted/1024, cfg.memLimit/1024, r.emergencies, r.retries, r.fails, r.skips)
+		} else {
+			fmt.Printf("seed %d: ok\n", seed)
+		}
 	}
 	fmt.Println("heapcheck: all invariants held")
 }
 
-func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkEvery int, scavenge int64, binnedRelease bool, seed uint64) error {
-	opts := []bench.WorldOption{bench.WithAllocator(kind)}
-	if scavenge > 0 {
+type tortureConfig struct {
+	prof                              bench.Profile
+	kind                              malloc.Kind
+	threads, ops, maxSize, checkEvery int
+	scavenge                          int64
+	binnedRelease                     bool
+	memLimit                          uint64
+	faultRate                         float64
+	seed                              uint64
+}
+
+// pressured reports whether allocations are expected to fail: the workers
+// then tolerate out-of-memory mallocs as skipped operations.
+func (c tortureConfig) pressured() bool { return c.memLimit > 0 || c.faultRate > 0 }
+
+// isOOM matches either layer's out-of-memory error.
+func isOOM(err error) bool {
+	return errors.Is(err, heap.ErrNoMemory) || errors.Is(err, vm.ErrNoMem)
+}
+
+type tortureResult struct {
+	peakCommitted                      uint64
+	emergencies, retries, fails, skips uint64
+}
+
+func torture(cfg tortureConfig) (tortureResult, error) {
+	opts := []bench.WorldOption{bench.WithAllocator(cfg.kind)}
+	if cfg.scavenge > 0 {
 		// Designs without a scavenger simply ignore the knobs, so one flag
-		// set tortures all four kinds uniformly.
-		costs := prof.AllocCosts
-		costs.ScavengeInterval = scavenge
-		if binnedRelease {
+		// set tortures all five kinds uniformly.
+		costs := cfg.prof.AllocCosts
+		costs.ScavengeInterval = cfg.scavenge
+		if cfg.binnedRelease {
 			// Padless and floor-at-one-page: maximum release pressure, so
 			// every released interior the churn re-carves is checked.
 			costs.ScavengeMinBinBytes = 4096
@@ -67,7 +127,8 @@ func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkE
 		}
 		opts = append(opts, bench.WithAllocCosts(costs))
 	}
-	w := bench.NewWorld(prof, seed, opts...)
+	w := bench.NewWorld(cfg.prof, cfg.seed, opts...)
+	var res tortureResult
 	var checkErr error
 	err := w.Run(func(main *sim.Thread) {
 		inst, err := w.AddInstance(main)
@@ -75,6 +136,12 @@ func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkE
 			panic(err)
 		}
 		al, as := inst.Alloc, inst.AS
+		if cfg.memLimit > 0 {
+			as.SetMemLimit(cfg.memLimit)
+		}
+		if cfg.faultRate > 0 {
+			as.SetFaultInjection(vm.InjectPolicy{Prob: cfg.faultRate, Seed: cfg.seed})
+		}
 		type obj struct {
 			p     uint64
 			n     uint32
@@ -82,13 +149,13 @@ func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkE
 		}
 		var shared []obj // cross-thread mailbox
 		var ws []*sim.Thread
-		for i := 0; i < threads; i++ {
+		for i := 0; i < cfg.threads; i++ {
 			ws = append(ws, main.Spawn(fmt.Sprintf("torture-%d", i), func(t *sim.Thread) {
 				al.AttachThread(t)
 				defer al.DetachThread(t)
-				r := xrand.New(seed, uint64(t.ID()))
+				r := xrand.New(cfg.seed, uint64(t.ID()))
 				var local []obj
-				for j := 0; j < ops && checkErr == nil; j++ {
+				for j := 0; j < cfg.ops && checkErr == nil; j++ {
 					switch {
 					case len(local) > 0 && r.Intn(3) == 0:
 						k := r.Intn(len(local))
@@ -110,9 +177,16 @@ func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkE
 							return
 						}
 					default:
-						n := uint32(1 + r.Intn(maxSize))
+						n := uint32(1 + r.Intn(cfg.maxSize))
 						p, err := al.Malloc(t, n)
 						if err != nil {
+							if cfg.pressured() && isOOM(err) {
+								// The emergency cascade already did its
+								// bounded retries; the op is skipped, and the
+								// heap must still pass every check below.
+								res.skips++
+								break
+							}
 							checkErr = err
 							return
 						}
@@ -125,7 +199,7 @@ func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkE
 							shared = append(shared, obj{p, n, stamp})
 						}
 					}
-					if checkEvery > 0 && j%checkEvery == 0 {
+					if cfg.checkEvery > 0 && j%cfg.checkEvery == 0 {
 						if err := al.Check(); err != nil {
 							checkErr = err
 							return
@@ -152,17 +226,19 @@ func torture(prof bench.Profile, kind malloc.Kind, threads, ops, maxSize, checkE
 		if checkErr == nil {
 			checkErr = al.Check()
 		}
-		if checkErr == nil {
-			st := al.Stats()
-			if st.Heap.Mallocs != st.Heap.Frees {
-				checkErr = fmt.Errorf("leak: %d mallocs vs %d frees", st.Heap.Mallocs, st.Heap.Frees)
-			}
+		st := al.Stats()
+		res.peakCommitted = st.PeakCommitted
+		res.emergencies = st.EmergencyScavenges
+		res.retries = st.OOMRetries
+		res.fails = st.OOMFails
+		if checkErr == nil && st.Heap.Mallocs != st.Heap.Frees {
+			checkErr = fmt.Errorf("leak: %d mallocs vs %d frees", st.Heap.Mallocs, st.Heap.Frees)
 		}
 	})
 	if err != nil {
-		return err
+		return res, err
 	}
-	return checkErr
+	return res, checkErr
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@
 //	mallocbench -bench d3 -scale 1 -json BENCH_D3.json
 //	mallocbench -bench d4 -scale 1 -json BENCH_D4.json
 //	mallocbench -bench d5 -scale 1 -json BENCH_D5.json
+//	mallocbench -bench d6 -scale 1 -json BENCH_D6.json
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson, d2 (mid-tier ablation), d3 (footprint phase-shift), d4 (NUMA locality) or d5 (contention scaling)")
+	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson, d2 (mid-tier ablation), d3 (footprint phase-shift), d4 (NUMA locality), d5 (contention scaling) or d6 (memory-pressure degradation)")
 	profileName := flag.String("profile", "quad-xeon-500", "machine profile")
 	threads := flag.Int("threads", 2, "worker threads")
 	processes := flag.Bool("processes", false, "benchmark 1: one process per worker")
@@ -131,8 +132,14 @@ func main() {
 			fatal(err)
 		}
 		tab = res
+	case "d6":
+		res, err := bench.ExpPressure(bench.Options{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		tab = res
 	default:
-		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson, d2, d3, d4 or d5)", *which))
+		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson, d2, d3, d4, d5 or d6)", *which))
 	}
 
 	if *jsonPath != "" {

@@ -69,6 +69,7 @@ func All() []Experiment {
 		{"D3", "Footprint under phase shifts: burst / idle / burst, scavenger on vs off", "resident+parked decays >= 50% during idle with scavenging on; post-idle burst throughput within ~10% of the no-scavenger run", ExpFootprint},
 		{"D4", "NUMA locality: node-blind vs node-sharded placement, 1/2/4-node hosts", "node-sharded placement cuts remote-access charges >= 50% vs node-blind on Larson at 8 threads, 4 nodes", ExpLocality},
 		{"D5", "Contention scaling: five designs, Larson at 8-64 threads, 64-CPU 4-node host", "lockfree keeps scaling where the lock-based designs flatline, with zero arena/depot lock acquisitions — contention priced purely as CAS retries", ExpScaling},
+		{"D6", "Graceful degradation under memory pressure: commit limit ratcheting toward peak live bytes, five designs", "at 1.25x peak every design completes with zero OOM failures (the emergency cascade absorbs the pressure); below 1.0x throughput degrades gracefully until the hard floor", ExpPressure},
 	}
 }
 

@@ -52,6 +52,18 @@ type LarsonConfig struct {
 	// Costs overrides the profile's allocator cost params when non-nil
 	// (mid-tier ablations).
 	Costs *malloc.CostParams
+	// MemLimit, when > 0, caps the instance's committed bytes
+	// (vm.SetMemLimit) before the workload starts: growth past it fails
+	// with vm.ErrNoMem and the allocator's emergency cascade takes over.
+	MemLimit uint64
+	// Faults, when non-nil, arms deterministic mmap/sbrk fault injection
+	// on the instance's address space (vm.SetFaultInjection).
+	Faults *vm.InjectPolicy
+	// TolerateOOM makes workers treat an out-of-memory slot refill as a
+	// skipped operation (the slot stays empty and is skipped on its next
+	// turn) instead of a fatal error; skips are counted in
+	// LarsonRun.OOMSkips. Any other failure still aborts the run.
+	TolerateOOM bool
 }
 
 // DefaultLarson returns the conventional parameters.
@@ -65,6 +77,9 @@ type LarsonRun struct {
 	Throughput  float64 // replace ops per simulated second, all threads
 	MinorFaults uint64
 	ArenaCount  int
+	// OOMSkips counts slot refills abandoned because even the emergency
+	// cascade could not free enough memory (TolerateOOM runs only).
+	OOMSkips uint64
 	// VMStats and AllocStats expose the run's syscall, fault and reuse
 	// counters for the above-threshold (mmap-path) variants.
 	VMStats    vm.Stats
@@ -124,6 +139,12 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 			panic(err)
 		}
 		al, as := inst.Alloc, inst.AS
+		if cfg.MemLimit > 0 {
+			as.SetMemLimit(cfg.MemLimit)
+		}
+		if cfg.Faults != nil {
+			as.SetFaultInjection(*cfg.Faults)
+		}
 		start := main.Now()
 		if cfg.Producers > 0 {
 			runLarsonImbalanced(cfg, w, main, inst)
@@ -136,6 +157,7 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 			out.AllocStats = al.Stats()
 			return
 		}
+		var oomSkips uint64
 		workers := make([]*sim.Thread, cfg.Threads)
 		for i := 0; i < cfg.Threads; i++ {
 			workers[i] = main.Spawn(fmt.Sprintf("larson-%d", i), func(t *sim.Thread) {
@@ -154,24 +176,37 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 				for s := 0; s < cfg.Slots; s++ {
 					p, err := al.Malloc(t, randSize())
 					if err != nil {
-						panic(fmt.Sprintf("larson: prefill: %v", err))
+						if !cfg.TolerateOOM || !isOOM(err) {
+							panic(fmt.Sprintf("larson: prefill: %v", err))
+						}
+						oomSkips++
+						p = 0
 					}
 					as.Write32(t, arr+uint64(4*s), uint32(p))
 				}
 				replace := func(n int) {
 					for op := 0; op < n; op++ {
 						s := rng.Intn(cfg.Slots)
+						// A zero slot is one an earlier tolerated OOM left
+						// empty; there is nothing to free or touch.
 						old := uint64(as.Read32(t, arr+uint64(4*s)))
-						if cfg.TouchObjects {
-							as.Read8(t, old)
-						}
-						if err := al.Free(t, old); err != nil {
-							panic(fmt.Sprintf("larson: free: %v", err))
+						if old != 0 {
+							if cfg.TouchObjects {
+								as.Read8(t, old)
+							}
+							if err := al.Free(t, old); err != nil {
+								panic(fmt.Sprintf("larson: free: %v", err))
+							}
 						}
 						sz := randSize()
 						p, err := al.Malloc(t, sz)
 						if err != nil {
-							panic(fmt.Sprintf("larson: alloc: %v", err))
+							if !cfg.TolerateOOM || !isOOM(err) {
+								panic(fmt.Sprintf("larson: alloc: %v", err))
+							}
+							oomSkips++
+							as.Write32(t, arr+uint64(4*s), 0)
+							continue
 						}
 						if cfg.TouchObjects {
 							for off := uint64(0); off < uint64(sz); off += vm.PageSize {
@@ -203,6 +238,7 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 		out.MinorFaults = out.VMStats.MinorFaults
 		out.ArenaCount = len(al.Arenas())
 		out.AllocStats = al.Stats()
+		out.OOMSkips = oomSkips
 	})
 	return out, err
 }

@@ -438,6 +438,7 @@ func (a *Arena) extend(t *sim.Thread, sz uint32) error {
 	need := pageCeilI(int64(sz) + MinChunk + int64(a.params.TopPad) + 64)
 
 	if a.IsMain {
+		var sbrkErr error
 		if a.topContiguous() {
 			if _, err := a.as.Sbrk(t, need); err == nil {
 				topC := a.top(t)
@@ -445,11 +446,16 @@ func (a *Arena) extend(t *sim.Thread, sz uint32) error {
 				a.installTop(t, topC, topSz+uint32(need), a.prevInuse(t, topC))
 				a.segments[len(a.segments)-1].end = a.as.Brk()
 				return nil
+			} else {
+				sbrkErr = err
 			}
 		}
 		// sbrk failed, or someone else moved the brk from under us: only
 		// glibc >= 2.1.3 retries the extension with mmap (§3 of the paper).
 		if !a.params.RetrySbrkWithMmap {
+			if sbrkErr != nil {
+				return fmt.Errorf("%w: sbrk cannot extend the heap: %w", ErrNoMemory, sbrkErr)
+			}
 			return fmt.Errorf("%w: sbrk cannot extend the heap", ErrNoMemory)
 		}
 	}
@@ -468,7 +474,10 @@ func (a *Arena) extend(t *sim.Thread, sz uint32) error {
 	}
 	base, err := a.as.MmapOnNode(t, mapLen, fmt.Sprintf("arena.%d.seg%d", a.Index, len(a.segments)), a.Node)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrNoMemory, err)
+		// Double-wrap so callers can match either the allocator-level
+		// ErrNoMemory or the vm-level cause (vm.ErrNoMem under a commit
+		// limit or injected fault).
+		return fmt.Errorf("%w: %w", ErrNoMemory, err)
 	}
 	a.mappedTotal += mapLen
 	a.abandonTop(t)
@@ -684,7 +693,7 @@ func (a *Arena) MmapChunk(t *sim.Thread, req uint32) (uint64, error) {
 	if !reused {
 		b, err := a.as.Mmap(t, mapLen, "mmap-chunk")
 		if err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrNoMemory, err)
+			return 0, fmt.Errorf("%w: %w", ErrNoMemory, err)
 		}
 		base = b
 	}
@@ -711,7 +720,11 @@ func (a *Arena) FreeMmapChunk(t *sim.Thread, mem uint64) error {
 	mapLen := uint64(w&^FlagMask) + offset + HeaderSz
 	a.stats.MunmapChunks++
 	a.stats.BytesInUse -= mapLen
-	if a.as.MunmapReuse(t, base, mapLen) {
+	parked, err := a.as.MunmapReuse(t, base, mapLen)
+	if err != nil {
+		return err
+	}
+	if parked {
 		// A parked region keeps its pages, so the stale header would still
 		// read as an mmapped chunk and a double free would park the region
 		// twice (aliasing two live allocations later). Poison the size word

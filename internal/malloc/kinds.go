@@ -25,22 +25,32 @@ func Kinds() []Kind {
 	return []Kind{KindSerial, KindPTMalloc, KindPerThread, KindThreadCache, KindLockFree}
 }
 
-// New constructs an allocator of the given kind on as.
+// New constructs an allocator of the given kind on as, wrapped in the
+// memory-pressure shell (pressure.go): out-of-memory failures trigger an
+// emergency reclamation cascade and bounded retries before propagating.
+// The shell is a pure pass-through unless an allocation actually fails, so
+// every unlimited run's numbers are those of the bare design.
 func New(t *sim.Thread, kind Kind, as *vm.AddressSpace, params heap.Params, costs CostParams) (Allocator, error) {
+	var al Allocator
+	var err error
 	switch kind {
 	case KindSerial:
-		return NewSerial(t, as, params, costs)
+		al, err = NewSerial(t, as, params, costs)
 	case KindPTMalloc:
-		return NewPTMalloc(t, as, params, costs)
+		al, err = NewPTMalloc(t, as, params, costs)
 	case KindPerThread:
-		return NewPerThread(t, as, params, costs)
+		al, err = NewPerThread(t, as, params, costs)
 	case KindThreadCache:
-		return NewThreadCache(t, as, params, costs)
+		al, err = NewThreadCache(t, as, params, costs)
 	case KindLockFree:
-		return NewLockFree(t, as, params, costs)
+		al, err = NewLockFree(t, as, params, costs)
 	default:
 		return nil, fmt.Errorf("malloc: unknown allocator kind %q", kind)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return newResilient(al), nil
 }
 
 // Aligned returns params adjusted so every returned pointer sits on its own

@@ -399,6 +399,22 @@ type Stats struct {
 	BuddySplits    uint64 // block splits on the alloc path
 	BuddyMerges    uint64 // buddy coalesces on the free path
 	BuddyGrowLocks uint64 // grow-lock acquisitions (the only locked buddy path)
+	// Memory-pressure counters (pressure.go; all zero unless a commit limit
+	// or fault injection makes an allocation fail).
+	EmergencyScavenges uint64 // emergency reclamation cascade passes run
+	EmergencyBytes     uint64 // bytes those passes shed (all tiers)
+	OOMRetries         uint64 // allocations retried after a cascade pass
+	OOMFails           uint64 // allocations that still failed after the last retry
+	// PressureLevel is a gauge, not a counter: 0 calm, 1 an emergency pass
+	// ran recently (magazine marks clamped), 2 sustained pressure (reuse
+	// parking disabled too). It decays back to 0 once allocations stop
+	// failing for a pressure window.
+	PressureLevel int
+	// Commit-limit mirrors from the address space (vm.SetMemLimit).
+	CommittedBytes uint64 // mapped-minus-released bytes charged right now
+	PeakCommitted  uint64 // high-water mark of CommittedBytes
+	CommitFails    uint64 // grows/commits refused by the limit
+	InjectedFaults uint64 // grows refused by fault injection instead
 	ArenaCount     int
 	Heap           heap.Stats // summed over arenas
 }
@@ -448,6 +464,12 @@ type base struct {
 	lastArena map[int]*heap.Arena
 
 	stats Stats
+
+	// deferredErr holds the first error from a context that cannot
+	// propagate one (scavenge passes, magazine re-homing, detach flushes).
+	// Check() reports it: the failure surfaces at the next consistency
+	// gate instead of tearing the simulation down mid-pass.
+	deferredErr error
 }
 
 func newBase(t *sim.Thread, name string, as *vm.AddressSpace, params heap.Params, costs CostParams) (*base, error) {
@@ -571,6 +593,10 @@ func mirrorVMStats(s *Stats, vs vm.Stats) {
 	s.RemoteAccesses = vs.RemoteAccesses
 	s.RemoteAccessCycles = vs.RemoteAccessCycles
 	s.RemoteFaults = vs.RemoteFaults
+	s.CommittedBytes = vs.CommittedBytes
+	s.PeakCommitted = vs.PeakCommitted
+	s.CommitFails = vs.CommitFails
+	s.InjectedFaults = vs.InjectedFaults
 }
 
 // reallocOn implements realloc for a variant: al provides the Malloc/Free
@@ -649,8 +675,19 @@ func callocOn(al Allocator, b *base, t *sim.Thread, size uint32) (uint64, error)
 	return p, nil
 }
 
-// checkAll verifies every arena.
+// recordErr stashes the first error from a path with no caller to return it
+// to; checkAll reports it.
+func (b *base) recordErr(err error) {
+	if err != nil && b.deferredErr == nil {
+		b.deferredErr = err
+	}
+}
+
+// checkAll verifies every arena and surfaces any deferred error.
 func (b *base) checkAll() error {
+	if b.deferredErr != nil {
+		return fmt.Errorf("malloc: deferred error: %w", b.deferredErr)
+	}
 	for _, a := range b.arenas {
 		if err := a.Check(); err != nil {
 			return fmt.Errorf("arena %d: %w", a.Index, err)

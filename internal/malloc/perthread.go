@@ -67,11 +67,12 @@ func (p *PerThread) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 	mem, merr := a.Malloc(t, size)
 	t.Unlock(a.Lock)
 	p.lastArena[t.ID()] = a
-	if merr == nil || !errors.Is(merr, heap.ErrArenaFull) {
+	if merr == nil || !(errors.Is(merr, heap.ErrArenaFull) || errors.Is(merr, heap.ErrNoMemory)) {
 		return mem, merr
 	}
-	// Private arena at its size cap: overflow to the main arena, which
-	// grows with sbrk and has no cap. The chunk will come back as a
+	// Private arena at its size cap — or unable to grow at all under a
+	// commit limit: overflow to the main arena, which may still have free
+	// chunks (and grows with sbrk, uncapped). The chunk will come back as a
 	// cross-arena free, the design's documented trade-off.
 	main := p.arenas[0]
 	t.Lock(main.Lock)

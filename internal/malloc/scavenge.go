@@ -2,6 +2,7 @@ package malloc
 
 import (
 	"cmp"
+	"fmt"
 	"sort"
 
 	"mtmalloc/internal/heap"
@@ -66,7 +67,7 @@ func (s magazineSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent in
 			if len(cl.remote) > 0 {
 				n := len(cl.remote)
 				if err := tc.flush(t, cl.remote); err != nil {
-					panic("malloc: scavenging remote buffer: " + err.Error())
+					tc.recordErr(fmt.Errorf("malloc: scavenging remote buffer: %w", err))
 				}
 				cl.remote = nil
 				tc.stats.ScavengeMagChunks += uint64(n)
@@ -86,7 +87,7 @@ func (s magazineSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent in
 				continue
 			}
 			if err := tc.flush(t, cl.entries[:n]); err != nil {
-				panic("malloc: scavenging idle magazine: " + err.Error())
+				tc.recordErr(fmt.Errorf("malloc: scavenging idle magazine: %w", err))
 			}
 			copy(cl.entries, cl.entries[n:])
 			cl.entries = cl.entries[:len(cl.entries)-n]
@@ -121,7 +122,7 @@ func (s depotSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) 
 			victims = append(victims, span...)
 		}
 		if err := tc.flush(t, victims); err != nil {
-			panic("malloc: scavenging depot spans: " + err.Error())
+			tc.recordErr(fmt.Errorf("malloc: scavenging depot spans: %w", err))
 		}
 		tc.stats.ScavengeDepotSpans += uint64(len(spans))
 		tc.stats.ScavengeDepotChunks += uint64(chunks)
@@ -190,7 +191,10 @@ type reuseSource struct{ tc *ThreadCache }
 func (s reuseSource) Name() string { return "mmap-reuse" }
 
 func (s reuseSource) Scavenge(t *sim.Thread, cutoff sim.Time, decayPercent int) uint64 {
-	_, bytes := s.tc.as.EvictReuseBefore(t, cutoff)
+	_, bytes, err := s.tc.as.EvictReuseBefore(t, cutoff)
+	if err != nil {
+		s.tc.recordErr(err)
+	}
 	s.tc.stats.ScavengeReuseBytes += bytes
 	return bytes
 }

@@ -97,6 +97,10 @@ type ThreadCache struct {
 	// deferred flushes, so Stats() reports these instead.
 	userMallocs uint64
 	userFrees   uint64
+
+	// pressured clamps every magazine's high-water mark at one batch while
+	// the pressure wrapper (pressure.go) reports sustained memory pressure.
+	pressured bool
 }
 
 // tcEntry is one cached chunk: the user pointer plus the arena that owns it,
@@ -384,7 +388,7 @@ func (tc *ThreadCache) rehomeCache(t *sim.Thread, c *tcache, node int) {
 		}
 		tc.stats.RehomedChunks += uint64(len(evict))
 		if err := tc.release(t, csz, evict); err != nil {
-			panic(fmt.Sprintf("malloc: re-homing magazine: %v", err))
+			tc.recordErr(fmt.Errorf("malloc: re-homing magazine: %w", err))
 		}
 	}
 	c.home = nil
@@ -692,8 +696,10 @@ func (tc *ThreadCache) freeBuddy(t *sim.Thread, mem uint64, sp *lfSpan) error {
 
 // growOnStreak advances a class's hit streak and grows its adaptive mark by
 // one batch after growStreak consecutive lock-free hits, up to CacheHigh.
+// Under memory pressure (pressure.go) marks stay clamped at one batch: a fat
+// magazine is exactly the parked memory an emergency pass just reclaimed.
 func (tc *ThreadCache) growOnStreak(cl *tcClass) {
-	if !tc.adaptive {
+	if !tc.adaptive || tc.pressured {
 		return
 	}
 	cl.streak++
@@ -881,14 +887,14 @@ func (tc *ThreadCache) DetachThread(t *sim.Thread) {
 		for _, csz := range sortedKeys(c.classes) {
 			cl := c.classes[csz]
 			if err := tc.release(t, csz, cl.entries); err != nil {
-				panic(fmt.Sprintf("malloc: thread-cache release on detach: %v", err))
+				tc.recordErr(fmt.Errorf("malloc: thread-cache release on detach: %w", err))
 			}
 			cl.entries = nil
 			if len(cl.remote) > 0 {
 				// Pending remote frees go home with the magazine: release
 				// routes them to their owning nodes' depots.
 				if err := tc.release(t, csz, cl.remote); err != nil {
-					panic(fmt.Sprintf("malloc: remote-buffer release on detach: %v", err))
+					tc.recordErr(fmt.Errorf("malloc: remote-buffer release on detach: %w", err))
 				}
 				cl.remote = nil
 			}

@@ -159,12 +159,12 @@ func TestReuseAffinityPrefersLocalRegion(t *testing.T) {
 				return
 			}
 			as.Write8(main, localAddr, 1)
-			if !as.MunmapReuse(main, localAddr, PageSize) {
-				t.Error("local park refused")
+			if ok, perr := as.MunmapReuse(main, localAddr, PageSize); perr != nil || !ok {
+				t.Errorf("local park refused: (%v, %v)", ok, perr)
 			}
 			main.Join(w)
-			if !as.MunmapReuse(main, remoteAddr, PageSize) {
-				t.Error("remote park refused")
+			if ok, perr := as.MunmapReuse(main, remoteAddr, PageSize); perr != nil || !ok {
+				t.Errorf("remote park refused: (%v, %v)", ok, perr)
 			}
 
 			got, ok := as.MmapFromReuse(main, PageSize)

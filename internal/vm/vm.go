@@ -50,11 +50,18 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 
 	"mtmalloc/internal/cache"
 	"mtmalloc/internal/sim"
+	"mtmalloc/internal/xrand"
 )
+
+// ErrNoMem is the typed ENOMEM analog: every commit-limit refusal and every
+// injected mapping failure wraps it, so callers test errors.Is(err, ErrNoMem)
+// regardless of which growth path hit the wall.
+var ErrNoMem = errors.New("vm: cannot allocate memory")
 
 // PageSize is the simulated page size. The paper's machines all used 4 KB
 // pages; benchmark 2's 127.6-pages-per-thread constant depends on it.
@@ -161,6 +168,14 @@ type Stats struct {
 	// NodeResidentBytes is the resident footprint broken down by home node
 	// (nil on a 1-node machine, where ResidentBytes is the whole story).
 	NodeResidentBytes []uint64
+	// Commit-limit accounting (SetMemLimit). CommittedBytes is mapped bytes
+	// minus released pages — the strict-overcommit Committed_AS analog that
+	// SetMemLimit bounds. Tracked even with the limit off, so an unlimited
+	// baseline run can report the peak a later limited run is set against.
+	CommittedBytes uint64
+	PeakCommitted  uint64
+	CommitFails    uint64 // growth or recommit refusals under the limit
+	InjectedFaults uint64 // mapping failures forced by SetFaultInjection
 }
 
 // Fault is panicked (and surfaced as a machine error) on an access outside
@@ -174,6 +189,76 @@ type Fault struct {
 
 func (f Fault) Error() string {
 	return fmt.Sprintf("vm: segmentation fault: space %d %s 0x%x", f.Space, f.Op, f.Addr)
+}
+
+// OOMFault is panicked when the commit limit refuses to re-commit a released
+// page on touch — the one failure the fault path itself can raise. The data
+// accessors have no error returns (a load does not fail on real hardware, the
+// process does), so like Fault it unwinds to the simulation engine and
+// surfaces as a machine error; errors.Is(err, ErrNoMem) identifies it there.
+type OOMFault struct {
+	Space uint32
+	Addr  uint64
+	Limit uint64
+}
+
+func (f OOMFault) Error() string {
+	return fmt.Sprintf("vm: cannot commit page at 0x%x: space %d over its %d-byte commit limit", f.Addr, f.Space, f.Limit)
+}
+
+// Unwrap lets errors.Is(err, ErrNoMem) see through a recovered OOMFault.
+func (f OOMFault) Unwrap() error { return ErrNoMem }
+
+// InjectPolicy configures deterministic fault injection on the two growth
+// syscalls (sbrk growth and mmap). Modes combine: a call fails when any
+// active mode says so. The zero policy disables injection.
+type InjectPolicy struct {
+	// Prob fails each growth call with this probability, drawn from a
+	// dedicated PCG stream seeded by Seed — independent of the machine's
+	// scheduling randomness, so adding injection never perturbs a run's
+	// other draws.
+	Prob float64
+	// EveryNth fails every Nth growth call (counting from 1) when > 0.
+	EveryNth uint64
+	// BudgetBytes, when > 0, allows that many bytes of further mapping
+	// growth and then fails every growth call — the remaining-budget mode
+	// that simulates a slowly exhausting reserve.
+	BudgetBytes int64
+	// Seed seeds the probability stream (0 is a valid seed).
+	Seed uint64
+}
+
+// active reports whether any injection mode is configured.
+func (p InjectPolicy) active() bool {
+	return p.Prob > 0 || p.EveryNth > 0 || p.BudgetBytes > 0
+}
+
+// injector is the live fault-injection state behind SetFaultInjection.
+type injector struct {
+	policy InjectPolicy
+	rng    *xrand.RNG
+	calls  uint64
+	budget int64
+}
+
+// fire decides whether this growth call (of delta bytes) fails. The budget
+// is spent only by calls that survive the other modes, so a probability
+// failure does not also consume reserve.
+func (in *injector) fire(delta uint64) bool {
+	in.calls++
+	if in.policy.EveryNth > 0 && in.calls%in.policy.EveryNth == 0 {
+		return true
+	}
+	if in.policy.Prob > 0 && in.rng.Float64() < in.policy.Prob {
+		return true
+	}
+	if in.policy.BudgetBytes > 0 {
+		if in.budget < int64(delta) {
+			return true
+		}
+		in.budget -= int64(delta)
+	}
+	return false
 }
 
 // AddressSpace is one simulated process image.
@@ -226,6 +311,17 @@ type AddressSpace struct {
 	reuseParked  uint64
 	reuseSeq     uint64
 	reuseBuckets map[uint64][]reuseRegion // keyed by page-rounded length
+	// parkDisabled suspends parking new regions (MunmapReuse refuses, the
+	// caller munmaps for real) while leaving already-parked regions
+	// available for lookup — the allocator's under-pressure degradation.
+	parkDisabled bool
+
+	// memLimit bounds committed (mapped-minus-released) bytes when > 0: the
+	// RLIMIT_AS / cgroup memory.max analog. committed is tracked either way.
+	memLimit  uint64
+	committed uint64
+	// inject, when non-nil, deterministically fails growth syscalls.
+	inject *injector
 
 	stats Stats
 }
@@ -300,6 +396,7 @@ func (as *AddressSpace) Stats() Stats {
 	s.PagesPresent = uint64(len(as.pages))
 	s.ResidentBytes = s.PagesPresent * PageSize
 	s.MmapReuseParked = as.reuseParked
+	s.CommittedBytes = as.committed
 	if as.numa() {
 		s.NodeResidentBytes = make([]uint64, as.mach.Nodes())
 		for _, n := range as.pageNode {
@@ -350,6 +447,86 @@ func (as *AddressSpace) SetRefaultCost(c int64) {
 func (as *AddressSpace) SetMmapReuse(capBytes uint64, work int64) {
 	as.reuseCap = capBytes
 	as.reuseWork = work
+}
+
+// SetReuseParkingDisabled suspends (or resumes) parking regions on the reuse
+// cache. While disabled MunmapReuse refuses every park, so above-threshold
+// frees munmap for real; regions already parked stay available to
+// MmapFromReuse and to eviction. The allocator flips this under memory
+// pressure: parked regions hold resident pages that count against the
+// commit limit.
+func (as *AddressSpace) SetReuseParkingDisabled(disabled bool) {
+	as.parkDisabled = disabled
+}
+
+// SetMemLimit bounds the space's committed bytes (mapped extent minus
+// released pages): the RLIMIT_AS / cgroup memory.max analog. 0 removes the
+// limit. Growth syscalls that would cross it fail with an error wrapping
+// ErrNoMem; re-committing a released page past it panics OOMFault (the data
+// path cannot return errors). Thread stacks are charged but never refused,
+// like a separate stack rlimit — a spawn failure would be unrecoverable.
+func (as *AddressSpace) SetMemLimit(bytes uint64) {
+	as.memLimit = bytes
+}
+
+// MemLimit returns the current commit limit (0 = unlimited).
+func (as *AddressSpace) MemLimit() uint64 { return as.memLimit }
+
+// SetFaultInjection installs deterministic growth-failure injection (the
+// zero policy disables it). The probability stream is seeded from
+// p.Seed only, so two spaces with the same policy fail identically.
+func (as *AddressSpace) SetFaultInjection(p InjectPolicy) {
+	if !p.active() {
+		as.inject = nil
+		return
+	}
+	as.inject = &injector{policy: p, rng: xrand.New(p.Seed, uint64(as.ID)), budget: p.BudgetBytes}
+}
+
+// mayGrow vets a growth syscall of delta bytes against fault injection and
+// the commit limit, in that order. The caller charges syscall time first:
+// a refused call still entered the kernel.
+func (as *AddressSpace) mayGrow(delta uint64) error {
+	if as.inject != nil && as.inject.fire(delta) {
+		as.stats.InjectedFaults++
+		return fmt.Errorf("injected fault: %w", ErrNoMem)
+	}
+	if as.memLimit > 0 && as.committed+delta > as.memLimit {
+		as.stats.CommitFails++
+		return fmt.Errorf("commit limit %d reached (%d committed, %d more wanted): %w",
+			as.memLimit, as.committed, delta, ErrNoMem)
+	}
+	return nil
+}
+
+// commitCharge adds delta bytes to the committed meter (the caller has
+// already vetted the growth where refusal is possible).
+func (as *AddressSpace) commitCharge(delta uint64) {
+	as.committed += delta
+	if as.committed > as.stats.PeakCommitted {
+		as.stats.PeakCommitted = as.committed
+	}
+}
+
+// commitCredit subtracts released or unmapped bytes from the meter.
+func (as *AddressSpace) commitCredit(delta uint64) {
+	if delta > as.committed {
+		as.committed = 0
+		return
+	}
+	as.committed -= delta
+}
+
+// releasedBytesIn counts pages of [lo, hi) that ReleasePages handed back:
+// the bytes a munmap of the range must NOT credit twice.
+func (as *AddressSpace) releasedBytesIn(lo, hi uint64) uint64 {
+	n := uint64(0)
+	for p := pageFloor(lo); p < hi; p += PageSize {
+		if as.released[p/PageSize] {
+			n += PageSize
+		}
+	}
+	return n
 }
 
 // VMAs returns a copy of the current mapping list.
@@ -428,10 +605,15 @@ func (as *AddressSpace) Sbrk(t *sim.Thread, delta int64) (uint64, error) {
 				return 0, fmt.Errorf("vm: sbrk(%d) would collide with %s at 0x%x", delta, v.Name, v.Start)
 			}
 		}
+		if err := as.mayGrow(uint64(delta)); err != nil {
+			as.stats.SbrkFails++
+			return 0, fmt.Errorf("vm: sbrk(%d): %w", delta, err)
+		}
 		as.brk = newBrk
 		as.stats.SbrkGrow += uint64(delta)
 		as.setBrkVMA()
 		as.accountMapped(int64(delta))
+		as.commitCharge(uint64(delta))
 		return old, nil
 	default:
 		shrink := uint64(-delta)
@@ -440,7 +622,11 @@ func (as *AddressSpace) Sbrk(t *sim.Thread, delta int64) (uint64, error) {
 			return 0, fmt.Errorf("vm: sbrk(%d) below data base", delta)
 		}
 		newBrk := as.brk - shrink
-		as.dropPages(pageFloor(newBrk+PageSize-1), as.brk)
+		dropLo := pageFloor(newBrk + PageSize - 1)
+		// Pages already handed back by ReleasePages were credited then; the
+		// shrink credits only what was still committed.
+		as.commitCredit(shrink - as.releasedBytesIn(dropLo, as.brk))
+		as.dropPages(dropLo, as.brk)
 		as.brk = newBrk
 		as.stats.SbrkShrink += shrink
 		as.setBrkVMA()
@@ -491,8 +677,12 @@ func (as *AddressSpace) MmapOnNode(t *sim.Thread, length uint64, name string, no
 	if addr == 0 {
 		return 0, fmt.Errorf("vm: mmap(%d): address space exhausted", length)
 	}
+	if err := as.mayGrow(length); err != nil {
+		return 0, fmt.Errorf("vm: mmap(%d): %w", length, err)
+	}
 	as.insertVMA(VMA{Start: addr, End: addr + length, Kind: KindAnon, Name: name, Node: node})
 	as.accountMapped(int64(length))
+	as.commitCharge(length)
 	return addr, nil
 }
 
@@ -548,6 +738,8 @@ func (as *AddressSpace) Munmap(t *sim.Thread, addr, length uint64) error {
 		return fmt.Errorf("vm: munmap(0x%x, %d): no mapping there", addr, length)
 	}
 	as.vmas = out
+	// Released pages in the range were credited by ReleasePages already.
+	as.commitCredit(removed - as.releasedBytesIn(addr, end))
 	as.dropPages(addr, end)
 	as.accountMapped(-int64(removed))
 	return nil
@@ -612,18 +804,22 @@ func (as *AddressSpace) MmapFromReuse(t *sim.Thread, length uint64) (uint64, boo
 // MunmapReuse parks [addr, addr+length) on the reuse cache instead of
 // unmapping it, evicting the oldest parked regions (real munmaps) when the
 // cap would be exceeded. Returns false — leaving the caller to munmap — when
-// the cache is disabled or the region alone exceeds the cap.
-func (as *AddressSpace) MunmapReuse(t *sim.Thread, addr, length uint64) bool {
-	if as.reuseCap == 0 || length == 0 {
-		return false
+// the cache is disabled, parking is suspended, or the region alone exceeds
+// the cap. A non-nil error means an eviction's munmap failed: the region was
+// NOT parked and the caller still owns it.
+func (as *AddressSpace) MunmapReuse(t *sim.Thread, addr, length uint64) (bool, error) {
+	if as.reuseCap == 0 || length == 0 || as.parkDisabled {
+		return false, nil
 	}
 	length = pageCeil(length)
 	if length > as.reuseCap {
-		return false
+		return false, nil
 	}
 	t.Charge(sim.Time(as.reuseWork))
 	for as.reuseParked+length > as.reuseCap && as.reuseParked > 0 {
-		as.evictOldestReuse(t)
+		if err := as.evictOldestReuse(t); err != nil {
+			return false, err
+		}
 	}
 	as.reuseSeq++
 	// The region's home is where its resident pages live: the home of its
@@ -640,7 +836,7 @@ func (as *AddressSpace) MunmapReuse(t *sim.Thread, addr, length uint64) bool {
 	as.reuseBuckets[length] = append(as.reuseBuckets[length], reuseRegion{addr: addr, length: length, seq: as.reuseSeq, parkedAt: t.Now(), node: node})
 	as.reuseParked += length
 	as.stats.MmapReuseParks++
-	return true
+	return true, nil
 }
 
 // oldestReuse locates the least recently parked region (minimum seq, which is
@@ -671,33 +867,36 @@ func (as *AddressSpace) removeReuse(key uint64, idx int) reuseRegion {
 	return r
 }
 
-// evictOldestReuse munmaps the least recently parked region.
-func (as *AddressSpace) evictOldestReuse(t *sim.Thread) {
+// evictOldestReuse munmaps the least recently parked region. Eviction is a
+// recovery path under a commit limit, so a munmap failure is returned, not
+// panicked: the region is already off the cache books either way.
+func (as *AddressSpace) evictOldestReuse(t *sim.Thread) error {
 	k, i, ok := as.oldestReuse()
 	if !ok {
-		return
+		return nil
 	}
 	r := as.removeReuse(k, i)
 	as.stats.MmapReuseEvicts++
 	if err := as.Munmap(t, r.addr, r.length); err != nil {
-		panic(fmt.Sprintf("vm: evicting parked reuse region: %v", err))
+		return fmt.Errorf("vm: evicting parked reuse region: %w", err)
 	}
+	return nil
 }
 
 // EvictReuseBefore munmaps every parked reuse region whose park time is
 // earlier than cutoff — the scavenger's age sweep over the reuse tier.
 // Regions are evicted oldest-first, so the sweep is deterministic. Returns
-// the number of regions and bytes released.
-func (as *AddressSpace) EvictReuseBefore(t *sim.Thread, cutoff sim.Time) (regions, bytes uint64) {
+// the regions and bytes released before any error stopped the sweep.
+func (as *AddressSpace) EvictReuseBefore(t *sim.Thread, cutoff sim.Time) (regions, bytes uint64, err error) {
 	for {
 		k, i, ok := as.oldestReuse()
 		if !ok || as.reuseBuckets[k][i].parkedAt >= cutoff {
-			return regions, bytes
+			return regions, bytes, nil
 		}
 		r := as.removeReuse(k, i)
 		as.stats.MmapReuseExpired++
 		if err := as.Munmap(t, r.addr, r.length); err != nil {
-			panic(fmt.Sprintf("vm: expiring parked reuse region: %v", err))
+			return regions, bytes, fmt.Errorf("vm: expiring parked reuse region: %w", err)
 		}
 		regions++
 		bytes += r.length
@@ -751,6 +950,9 @@ func (as *AddressSpace) ReleasePages(t *sim.Thread, addr, length uint64) uint64 
 	as.cache.DropRange(as.ID, lo, hi-lo)
 	as.lastPage = nil
 	as.stats.PagesReleased += released / PageSize
+	// The kernel may hand the frames to someone else: they stop counting
+	// against the commit limit until a touch re-commits them.
+	as.commitCredit(released)
 	return released
 }
 
@@ -779,6 +981,8 @@ func (as *AddressSpace) AllocStack(t *sim.Thread, name string) (uint64, error) {
 	as.stackHint = base - PageSize // guard gap
 	as.insertVMA(VMA{Start: base, End: top, Kind: KindStack, Name: name, Node: -1})
 	as.accountMapped(StackSize)
+	// Stacks charge the commit meter but are never refused (see SetMemLimit).
+	as.commitCharge(StackSize)
 	// Stacks grow down: first touch hits the top page.
 	as.Write64(t, top-8, 0)
 	return top, nil
@@ -821,6 +1025,13 @@ func (as *AddressSpace) page(t *sim.Thread, addr uint64, op string) []byte {
 			}
 		}
 		if as.released[idx] {
+			// Re-committing the frame is the one fault the limit can refuse;
+			// never-touched pages were committed when their mapping grew.
+			if as.memLimit > 0 && as.committed+PageSize > as.memLimit {
+				as.stats.CommitFails++
+				panic(OOMFault{Space: as.ID, Addr: addr, Limit: as.memLimit})
+			}
+			as.commitCharge(PageSize)
 			cost := as.costs.Refault
 			if cost <= 0 {
 				cost = as.costs.PageFault

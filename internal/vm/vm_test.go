@@ -435,8 +435,8 @@ func TestMmapReuseRoundTrip(t *testing.T) {
 		st := as.Stats()
 		faults, munmaps, mmaps := st.MinorFaults, st.MunmapCalls, st.MmapCalls
 
-		if !as.MunmapReuse(th, base, 8*PageSize) {
-			t.Fatal("MunmapReuse refused a region under the cap")
+		if ok, perr := as.MunmapReuse(th, base, 8*PageSize); perr != nil || !ok {
+			t.Fatalf("MunmapReuse = (%v, %v), want a park under the cap", ok, perr)
 		}
 		got, ok := as.MmapFromReuse(th, 8*PageSize)
 		if !ok || got != base {
@@ -482,8 +482,8 @@ func TestMmapReuseCapEviction(t *testing.T) {
 		}
 		munmaps := as.Stats().MunmapCalls
 		for _, b := range bases {
-			if !as.MunmapReuse(th, b, PageSize) {
-				t.Fatal("park refused")
+			if ok, perr := as.MunmapReuse(th, b, PageSize); perr != nil || !ok {
+				t.Fatalf("park refused: (%v, %v)", ok, perr)
 			}
 		}
 		st := as.Stats()
@@ -523,8 +523,8 @@ func TestMmapReuseOversizeRefused(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if as.MunmapReuse(th, b, 4*PageSize) {
-			t.Fatal("parked a region larger than the cap")
+		if ok, perr := as.MunmapReuse(th, b, 4*PageSize); perr != nil || ok {
+			t.Fatalf("MunmapReuse = (%v, %v), want an oversize refusal", ok, perr)
 		}
 		if err := as.Munmap(th, b, 4*PageSize); err != nil {
 			t.Fatal(err)
@@ -642,8 +642,8 @@ func TestEvictReuseBefore(t *testing.T) {
 				t.Fatalf("mmap: %v", err)
 			}
 			as.Write8(th, a, 1)
-			if !as.MunmapReuse(th, a, 8*PageSize) {
-				t.Fatal("MunmapReuse refused")
+			if ok, perr := as.MunmapReuse(th, a, 8*PageSize); perr != nil || !ok {
+				t.Fatalf("MunmapReuse refused: (%v, %v)", ok, perr)
 			}
 			return a
 		}
@@ -653,7 +653,10 @@ func TestEvictReuseBefore(t *testing.T) {
 		cut := th.Now() // both regions parked strictly before this instant
 		th.Charge(1000)
 		fresh := park()
-		regions, bytes := as.EvictReuseBefore(th, cut)
+		regions, bytes, eerr := as.EvictReuseBefore(th, cut)
+		if eerr != nil {
+			t.Fatalf("EvictReuseBefore: %v", eerr)
+		}
 		if regions != 2 || bytes != 2*8*PageSize {
 			t.Errorf("evicted %d regions / %d bytes, want 2 / %d", regions, bytes, 2*8*PageSize)
 		}
