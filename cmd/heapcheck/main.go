@@ -19,11 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"mtmalloc/internal/bench"
 	"mtmalloc/internal/heap"
 	"mtmalloc/internal/malloc"
 	"mtmalloc/internal/sim"
+	"mtmalloc/internal/telemetry"
 	"mtmalloc/internal/vm"
 	"mtmalloc/internal/xrand"
 )
@@ -42,6 +44,7 @@ func main() {
 	memLimit := flag.Uint64("memlimit", 0, "absolute commit limit in bytes (0 off): tortures the emergency reclamation cascade")
 	memLimitRatio := flag.Float64("memlimit-ratio", 0, "commit limit as a fraction of the unlimited run's peak committed bytes (0 off; measures peak with a first pass per seed)")
 	faultRate := flag.Float64("faultrate", 0, "probability of an injected mmap/sbrk failure per growth attempt (0 off; deterministic per seed)")
+	telemetryOn := flag.Bool("telemetry", false, "record allocator telemetry and print per-seed tier attribution and the top-3 latency classes")
 	flag.Parse()
 	if *binnedRelease && *scavenge == 0 {
 		*scavenge = 50000
@@ -63,6 +66,7 @@ func main() {
 			threads: *threads, ops: *ops, maxSize: *maxSize, checkEvery: *checkEvery,
 			scavenge: *scavenge, binnedRelease: *binnedRelease,
 			memLimit: *memLimit, faultRate: *faultRate, seed: uint64(seed),
+			telemetry: *telemetryOn,
 		}
 		if *memLimitRatio > 0 {
 			base := cfg
@@ -83,6 +87,9 @@ func main() {
 		} else {
 			fmt.Printf("seed %d: ok\n", seed)
 		}
+		if r.telemetry != nil {
+			printTelemetry(r.telemetry)
+		}
 	}
 	fmt.Println("heapcheck: all invariants held")
 }
@@ -96,6 +103,7 @@ type tortureConfig struct {
 	memLimit                          uint64
 	faultRate                         float64
 	seed                              uint64
+	telemetry                         bool
 }
 
 // pressured reports whether allocations are expected to fail: the workers
@@ -110,6 +118,29 @@ func isOOM(err error) bool {
 type tortureResult struct {
 	peakCommitted                      uint64
 	emergencies, retries, fails, skips uint64
+	telemetry                          *telemetry.Recorder
+}
+
+// printTelemetry summarizes one seed's recorder: where the cycles went,
+// tier by tier, and which size classes dominated the op mix.
+func printTelemetry(rec *telemetry.Recorder) {
+	rep := rec.Report()
+	fmt.Printf("  telemetry: %d mallocs (%d cycles), %d frees (%d cycles)\n",
+		rep.MallocOps, rep.TotalMallocCycles, rep.FreeOps, rep.TotalFreeCycles)
+	for _, ts := range rep.Tiers {
+		fmt.Printf("    tier %-9s %-6s %8d ops %12d cycles\n", ts.Tier, ts.Op, ts.Ops, ts.Cycles)
+	}
+	// Top-3 latency classes by op count, with their percentile spread.
+	top := make([]telemetry.ClassLatency, len(rep.Latency))
+	copy(top, rep.Latency)
+	sort.SliceStable(top, func(i, j int) bool { return top[i].Count > top[j].Count })
+	if len(top) > 3 {
+		top = top[:3]
+	}
+	for _, cl := range top {
+		fmt.Printf("    class %-6d %-6s %8d ops  p50 %6d  p99 %6d  p99.9 %6d cycles\n",
+			cl.SizeClass, cl.Op, cl.Count, cl.P50, cl.P99, cl.P999)
+	}
 }
 
 func torture(cfg tortureConfig) (tortureResult, error) {
@@ -136,6 +167,10 @@ func torture(cfg tortureConfig) (tortureResult, error) {
 			panic(err)
 		}
 		al, as := inst.Alloc, inst.AS
+		if cfg.telemetry {
+			res.telemetry = telemetry.NewRecorder(telemetry.Config{ClockMHz: cfg.prof.ClockMHz})
+			malloc.AttachTelemetry(al, res.telemetry)
+		}
 		if cfg.memLimit > 0 {
 			as.SetMemLimit(cfg.memLimit)
 		}

@@ -16,12 +16,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mtmalloc/internal/bench"
 	"mtmalloc/internal/malloc"
+	"mtmalloc/internal/telemetry"
 )
 
 func main() {
@@ -40,8 +43,12 @@ func main() {
 	allocator := flag.String("allocator", "", "override allocator: serial, ptmalloc, perthread, threadcache")
 	scale := flag.Float64("scale", 0.02, "d2/d3/d4: workload scale factor (d2: fraction of the 10M benchmark-1 pairs)")
 	jsonPath := flag.String("json", "", "also write the result table as JSON to this file")
+	telemetryPath := flag.String("telemetry", "", "larson: record telemetry and write run 0's report JSON here plus a Chrome trace-event file next to it (<name>.trace.json); adds latency percentile columns")
 	csv := flag.Bool("csv", false, "CSV output")
 	flag.Parse()
+	if *telemetryPath != "" && *which != "larson" {
+		fatal(fmt.Errorf("-telemetry is only wired into -bench larson (got -bench %q)", *which))
+	}
 
 	prof, err := bench.ProfileByName(*profileName)
 	if err != nil {
@@ -99,14 +106,31 @@ func main() {
 		cfg.Runs = *runs
 		cfg.Seed = *seed
 		cfg.Allocator = kind
+		if *telemetryPath != "" {
+			cfg.Telemetry = &telemetry.Config{}
+		}
 		res, err := bench.RunLarson(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		tab = &bench.Table{ID: "larson", Title: fmt.Sprintf("Larson workload, %d threads on %s", *threads, prof.Name),
 			Columns: []string{"run", "throughput(ops/s)", "wall(s)", "faults", "arenas"}}
+		if *telemetryPath != "" {
+			tab.Columns = append(tab.Columns, "malloc p50(cyc)", "p99(cyc)", "p99.9(cyc)")
+		}
 		for i, r := range res.Runs {
-			tab.AddRow(i+1, r.Throughput, r.WallSeconds, r.MinorFaults, r.ArenaCount)
+			if *telemetryPath != "" {
+				h := r.Telemetry.Hist(telemetry.OpMalloc)
+				tab.AddRow(i+1, r.Throughput, r.WallSeconds, r.MinorFaults, r.ArenaCount,
+					h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999))
+			} else {
+				tab.AddRow(i+1, r.Throughput, r.WallSeconds, r.MinorFaults, r.ArenaCount)
+			}
+		}
+		if *telemetryPath != "" {
+			if err := writeTelemetry(*telemetryPath, res.Runs[0].Telemetry); err != nil {
+				fatal(err)
+			}
 		}
 	case "d2":
 		res, err := bench.ExpMidTier(bench.Options{Scale: *scale, Seed: *seed})
@@ -157,6 +181,58 @@ func main() {
 	} else {
 		fmt.Print(tab.Text())
 	}
+}
+
+// writeTelemetry writes rec's report to path and its Chrome trace to
+// <path minus .json>.trace.json, then re-validates what it wrote: the files
+// must parse, per-tier cycles must sum to the op totals, and the time
+// series must carry the fragmentation gauge. Catching a malformed export
+// here beats catching it in a trace viewer.
+func writeTelemetry(path string, rec *telemetry.Recorder) error {
+	rep := rec.Report()
+	var mallocCycles, freeCycles uint64
+	for _, ts := range rep.Tiers {
+		if ts.Op == "malloc" {
+			mallocCycles += ts.Cycles
+		} else {
+			freeCycles += ts.Cycles
+		}
+	}
+	if mallocCycles != rep.TotalMallocCycles || freeCycles != rep.TotalFreeCycles {
+		return fmt.Errorf("telemetry: tier attribution (%d/%d cycles) does not sum to the op totals (%d/%d)",
+			mallocCycles, freeCycles, rep.TotalMallocCycles, rep.TotalFreeCycles)
+	}
+	if len(rep.Samples) == 0 {
+		return fmt.Errorf("telemetry: empty time series")
+	}
+	for _, s := range rep.Samples {
+		if len(s.Arenas) == 0 {
+			return fmt.Errorf("telemetry: sample at %d cycles lacks the per-arena fragmentation gauge", s.Time)
+		}
+	}
+	rj, err := rec.ReportJSON()
+	if err != nil {
+		return err
+	}
+	if !json.Valid(rj) {
+		return fmt.Errorf("telemetry: report is not valid JSON")
+	}
+	if err := os.WriteFile(path, rj, 0o644); err != nil {
+		return err
+	}
+	tracePath := strings.TrimSuffix(path, ".json") + ".trace.json"
+	tj, err := rec.TraceJSON()
+	if err != nil {
+		return err
+	}
+	if !json.Valid(tj) {
+		return fmt.Errorf("telemetry: trace is not valid JSON")
+	}
+	if err := os.WriteFile(tracePath, tj, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path, "and", tracePath)
+	return nil
 }
 
 func fatal(err error) {

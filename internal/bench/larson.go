@@ -6,6 +6,7 @@ import (
 	"mtmalloc/internal/malloc"
 	"mtmalloc/internal/sim"
 	"mtmalloc/internal/stats"
+	"mtmalloc/internal/telemetry"
 	"mtmalloc/internal/vm"
 )
 
@@ -64,6 +65,13 @@ type LarsonConfig struct {
 	// turn) instead of a fatal error; skips are counted in
 	// LarsonRun.OOMSkips. Any other failure still aborts the run.
 	TolerateOOM bool
+	// Telemetry, when non-nil, attaches a telemetry recorder to each run's
+	// allocator (per-op latency histograms, tier attribution, time series,
+	// trace events; see internal/telemetry). A zero ClockMHz is filled from
+	// the profile. The recorder of run i lands in Runs[i].Telemetry.
+	// Recording charges no cycles, so enabling it leaves every observable
+	// bit-identical.
+	Telemetry *telemetry.Config
 }
 
 // DefaultLarson returns the conventional parameters.
@@ -84,6 +92,9 @@ type LarsonRun struct {
 	// counters for the above-threshold (mmap-path) variants.
 	VMStats    vm.Stats
 	AllocStats malloc.Stats
+	// Telemetry holds the run's recorder when LarsonConfig.Telemetry asked
+	// for one; nil otherwise.
+	Telemetry *telemetry.Recorder
 }
 
 // LarsonResult aggregates runs.
@@ -144,6 +155,16 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 		}
 		if cfg.Faults != nil {
 			as.SetFaultInjection(*cfg.Faults)
+		}
+		var rec *telemetry.Recorder
+		if cfg.Telemetry != nil {
+			tcfg := *cfg.Telemetry
+			if tcfg.ClockMHz <= 0 {
+				tcfg.ClockMHz = cfg.Profile.ClockMHz
+			}
+			rec = telemetry.NewRecorder(tcfg)
+			malloc.AttachTelemetry(al, rec)
+			out.Telemetry = rec
 		}
 		start := main.Now()
 		if cfg.Producers > 0 {
@@ -220,10 +241,14 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 					replace(cfg.Ops)
 					return
 				}
-				for _, ph := range cfg.Phases {
+				for pi, ph := range cfg.Phases {
+					phStart := t.Now()
 					replace(ph.Ops)
+					rec.Span(t, fmt.Sprintf("phase %d burst", pi), "bench", phStart)
 					if ph.IdleSeconds > 0 {
+						idleStart := t.Now()
 						t.Sleep(w.M.Cycles(ph.IdleSeconds))
+						rec.Span(t, fmt.Sprintf("phase %d idle", pi), "bench", idleStart)
 					}
 				}
 			})

@@ -51,6 +51,12 @@ type Stats struct {
 	BinBytesReleased uint64 // bytes handed back to the kernel by ReleaseBinned
 	BytesInUse       uint64
 	PeakInUse        uint64
+	// ResidentBytes is the arena's footprint in touched-and-unreleased
+	// pages, filled by Stats() at snapshot time rather than maintained as a
+	// counter. Against BytesInUse it is the external-fragmentation gauge:
+	// resident-but-not-live bytes are memory the arena holds from the OS
+	// that no caller is using.
+	ResidentBytes uint64
 }
 
 // Add accumulates o into s, field by field. The reflection walk is the one
@@ -224,8 +230,24 @@ func (a *Arena) Contains(addr uint64) bool {
 	return false
 }
 
-// Stats returns a copy of the arena statistics.
-func (a *Arena) Stats() Stats { return a.stats }
+// Stats returns a copy of the arena statistics, with the resident-bytes
+// gauge snapshotted from the vm layer's residency books.
+func (a *Arena) Stats() Stats {
+	s := a.stats
+	s.ResidentBytes = a.ResidentBytes()
+	return s
+}
+
+// ResidentBytes sums the resident pages across the arena's segments — the
+// numerator of the external-fragmentation gauge (vs BytesInUse). Go-side
+// bookkeeping, uncharged.
+func (a *Arena) ResidentBytes() uint64 {
+	var n uint64
+	for _, s := range a.segments {
+		n += a.as.ResidentBytesIn(s.start, s.end)
+	}
+	return n
+}
 
 // LastOp returns the virtual time of the arena's most recent malloc-family
 // operation; zero until the first one. The scavenger reads it (a Go-side

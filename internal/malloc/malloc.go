@@ -136,6 +136,7 @@ import (
 
 	"mtmalloc/internal/heap"
 	"mtmalloc/internal/sim"
+	"mtmalloc/internal/telemetry"
 	"mtmalloc/internal/vm"
 )
 
@@ -465,6 +466,14 @@ type base struct {
 
 	stats Stats
 
+	// tel is the attached telemetry recorder, nil when telemetry is off:
+	// every recording site nil-checks, so the disabled cost is one branch.
+	// telSuppress mutes op recording while the emergency cascade reruns an
+	// operation, so the retried op is attributed once, to the emergency
+	// tier, instead of to whichever tier the retry happened to hit.
+	tel         *telemetry.Recorder
+	telSuppress bool
+
 	// deferredErr holds the first error from a context that cannot
 	// propagate one (scavenge passes, magazine re-homing, detach flushes).
 	// Check() reports it: the failure surfaces at the next consistency
@@ -530,6 +539,19 @@ func (b *base) opCharge(t *sim.Thread, work int64, a *heap.Arena) {
 		}
 	}
 	t.Charge(sim.Time(c))
+	// Every design funnels each op through here exactly once, so this is
+	// the one sampling tick the time series needs. MaybeSample never
+	// charges cycles, so the tick is invisible to the simulation.
+	b.tel.MaybeSample(t)
+}
+
+// telOp records one completed operation with the telemetry recorder,
+// unless telemetry is off or the emergency cascade has muted attribution.
+func (b *base) telOp(t *sim.Thread, kind telemetry.OpKind, class uint32, tier telemetry.Tier, start sim.Time) {
+	if b.tel == nil || b.telSuppress {
+		return
+	}
+	b.tel.Op(t, kind, class, tier, start)
 }
 
 // routeFree finds the arena owning mem. The pointer arithmetic glibc uses

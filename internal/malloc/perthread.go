@@ -6,6 +6,7 @@ import (
 
 	"mtmalloc/internal/heap"
 	"mtmalloc/internal/sim"
+	"mtmalloc/internal/telemetry"
 	"mtmalloc/internal/vm"
 )
 
@@ -54,10 +55,24 @@ func (p *PerThread) arenaOf(t *sim.Thread) (*heap.Arena, error) {
 // above-threshold allocations never pays for a private arena it cannot use.
 func (p *PerThread) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 	t.MaybeYield()
+	start := t.Now()
 	p.opCharge(t, 0, p.owner[t.ID()])
 	if mem, err, done := p.mmapPath(t, size); done {
+		if err == nil {
+			p.telOp(t, telemetry.OpMalloc, p.params.Request2Size(size), telemetry.TierVM, start)
+		}
 		return mem, err
 	}
+	mem, err := p.mallocArena(t, size)
+	if err == nil {
+		p.telOp(t, telemetry.OpMalloc, p.params.Request2Size(size), telemetry.TierArena, start)
+	}
+	return mem, err
+}
+
+// mallocArena is the arena half of Malloc: the private arena with main as
+// the overflow.
+func (p *PerThread) mallocArena(t *sim.Thread, size uint32) (uint64, error) {
 	a, err := p.arenaOf(t)
 	if err != nil {
 		return 0, err
@@ -88,8 +103,12 @@ func (p *PerThread) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 // Free releases mem into its owning arena.
 func (p *PerThread) Free(t *sim.Thread, mem uint64) error {
 	t.MaybeYield()
+	start := t.Now()
 	p.opCharge(t, 0, p.owner[t.ID()])
 	if done, err := p.freeIfMmapped(t, mem); done {
+		if err == nil {
+			p.telOp(t, telemetry.OpFree, 0, telemetry.TierVM, start)
+		}
 		return err
 	}
 	a, err := p.routeFree(t, mem)
@@ -103,6 +122,9 @@ func (p *PerThread) Free(t *sim.Thread, mem uint64) error {
 	t.Charge(sim.Time(p.costs.WorkFree))
 	ferr := a.Free(t, mem)
 	t.Unlock(a.Lock)
+	if ferr == nil {
+		p.telOp(t, telemetry.OpFree, 0, telemetry.TierArena, start)
+	}
 	return ferr
 }
 

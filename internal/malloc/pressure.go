@@ -7,6 +7,7 @@ import (
 	"mtmalloc/internal/heap"
 	"mtmalloc/internal/scavenge"
 	"mtmalloc/internal/sim"
+	"mtmalloc/internal/telemetry"
 	"mtmalloc/internal/vm"
 )
 
@@ -200,14 +201,29 @@ func (r *resilient) escalate(t *sim.Thread, attempt int) {
 }
 
 // retry runs the cascade-and-retry loop after op failed with an
-// out-of-memory error.
-func (r *resilient) retry(t *sim.Thread, err error, op func() (uint64, error)) (uint64, error) {
+// out-of-memory error. With telemetry attached the whole rescue — failed
+// first attempt, cascade passes, retries — is attributed as one op to the
+// emergency tier (start is the wrapped entry's begin time): recording
+// inside the design is muted for the duration so the retried op is not
+// double-counted in whichever tier finally serves it.
+func (r *resilient) retry(t *sim.Thread, err error, kind telemetry.OpKind, class uint32, start sim.Time, op func() (uint64, error)) (uint64, error) {
 	b := r.rec.baseOf()
+	if b.tel != nil {
+		b.tel.Instant(t, "emergency cascade", "pressure")
+		b.telSuppress = true
+		defer func() {
+			b.telSuppress = false
+			b.tel.Op(t, kind, class, telemetry.TierEmergency, start)
+		}()
+	}
 	for attempt := 1; attempt <= maxOOMAttempts; attempt++ {
 		r.escalate(t, attempt)
 		b.stats.EmergencyScavenges++
 		b.stats.EmergencyBytes += r.rec.emergencyReclaim(t, r.level)
 		b.stats.OOMRetries++
+		if b.tel != nil {
+			b.tel.Instant(t, "oom retry", "pressure")
+		}
 		mem, rerr := op()
 		if rerr == nil || !isNoMem(rerr) {
 			return mem, rerr
@@ -215,36 +231,47 @@ func (r *resilient) retry(t *sim.Thread, err error, op func() (uint64, error)) (
 		err = rerr
 	}
 	b.stats.OOMFails++
+	if b.tel != nil {
+		b.tel.Instant(t, "oom fail", "pressure")
+	}
 	return 0, err
 }
 
 func (r *resilient) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 	r.maybeCalm(t)
+	start := t.Now()
 	mem, err := r.Allocator.Malloc(t, size)
 	if err == nil || !isNoMem(err) {
 		return mem, err
 	}
-	return r.retry(t, err, func() (uint64, error) { return r.Allocator.Malloc(t, size) })
+	b := r.rec.baseOf()
+	return r.retry(t, err, telemetry.OpMalloc, b.params.Request2Size(size), start,
+		func() (uint64, error) { return r.Allocator.Malloc(t, size) })
 }
 
 // Realloc retries the whole operation: a failed realloc leaves the original
 // chunk intact, so rerunning it after a cascade pass is safe.
 func (r *resilient) Realloc(t *sim.Thread, mem uint64, size uint32) (uint64, error) {
 	r.maybeCalm(t)
+	start := t.Now()
 	np, err := r.Allocator.Realloc(t, mem, size)
 	if err == nil || !isNoMem(err) {
 		return np, err
 	}
-	return r.retry(t, err, func() (uint64, error) { return r.Allocator.Realloc(t, mem, size) })
+	return r.retry(t, err, telemetry.OpMalloc, 0, start,
+		func() (uint64, error) { return r.Allocator.Realloc(t, mem, size) })
 }
 
 func (r *resilient) Calloc(t *sim.Thread, size uint32) (uint64, error) {
 	r.maybeCalm(t)
+	start := t.Now()
 	mem, err := r.Allocator.Calloc(t, size)
 	if err == nil || !isNoMem(err) {
 		return mem, err
 	}
-	return r.retry(t, err, func() (uint64, error) { return r.Allocator.Calloc(t, size) })
+	b := r.rec.baseOf()
+	return r.retry(t, err, telemetry.OpMalloc, b.params.Request2Size(size), start,
+		func() (uint64, error) { return r.Allocator.Calloc(t, size) })
 }
 
 // Stats adds the live pressure gauge to the wrapped design's counters (the

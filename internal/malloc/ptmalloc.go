@@ -6,6 +6,7 @@ import (
 
 	"mtmalloc/internal/heap"
 	"mtmalloc/internal/sim"
+	"mtmalloc/internal/telemetry"
 	"mtmalloc/internal/vm"
 )
 
@@ -83,10 +84,24 @@ func (p *PTMalloc) arenaGet(t *sim.Thread) (*heap.Arena, error) {
 // critical section.
 func (p *PTMalloc) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 	t.MaybeYield()
+	start := t.Now()
 	p.opCharge(t, 0, p.lastArena[t.ID()])
 	if mem, err, done := p.mmapPath(t, size); done {
+		if err == nil {
+			p.telOp(t, telemetry.OpMalloc, p.params.Request2Size(size), telemetry.TierVM, start)
+		}
 		return mem, err
 	}
+	mem, err := p.mallocArena(t, size)
+	if err == nil {
+		p.telOp(t, telemetry.OpMalloc, p.params.Request2Size(size), telemetry.TierArena, start)
+	}
+	return mem, err
+}
+
+// mallocArena is the arena half of Malloc: trylock search, blocking
+// fall-over, fresh-arena growth.
+func (p *PTMalloc) mallocArena(t *sim.Thread, size uint32) (uint64, error) {
 	a, err := p.arenaGet(t)
 	if err != nil {
 		return 0, err
@@ -136,8 +151,12 @@ func (p *PTMalloc) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 // caller's).
 func (p *PTMalloc) Free(t *sim.Thread, mem uint64) error {
 	t.MaybeYield()
+	start := t.Now()
 	p.opCharge(t, 0, p.lastArena[t.ID()])
 	if done, err := p.freeIfMmapped(t, mem); done {
+		if err == nil {
+			p.telOp(t, telemetry.OpFree, 0, telemetry.TierVM, start)
+		}
 		return err
 	}
 	a, err := p.routeFree(t, mem)
@@ -151,6 +170,9 @@ func (p *PTMalloc) Free(t *sim.Thread, mem uint64) error {
 	t.Charge(sim.Time(p.costs.WorkFree))
 	ferr := a.Free(t, mem)
 	t.Unlock(a.Lock)
+	if ferr == nil {
+		p.telOp(t, telemetry.OpFree, 0, telemetry.TierArena, start)
+	}
 	return ferr
 }
 

@@ -265,7 +265,14 @@ func (tc *ThreadCache) Scavenger() *scavenge.Scavenger { return tc.scav }
 // operation, and it runs a decay pass on the caller when the epoch boundary
 // has passed. Free ride for busy phases; idle phases rely on Background.
 func (tc *ThreadCache) maybeScavenge(t *sim.Thread) {
-	if tc.scav != nil {
-		tc.scav.Tick(t)
+	if tc.scav == nil {
+		return
+	}
+	start := t.Now()
+	if tc.scav.Tick(t) && tc.tel != nil {
+		// A pass ran: trace it, and give the time series a point right
+		// after the reclaim (the footprint gauges just moved).
+		tc.tel.Span(t, "scavenge pass", "scavenge", start)
+		tc.tel.MaybeSample(t)
 	}
 }

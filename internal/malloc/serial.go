@@ -3,6 +3,7 @@ package malloc
 import (
 	"mtmalloc/internal/heap"
 	"mtmalloc/internal/sim"
+	"mtmalloc/internal/telemetry"
 	"mtmalloc/internal/vm"
 )
 
@@ -29,9 +30,13 @@ func NewSerial(t *sim.Thread, as *vm.AddressSpace, params heap.Params, costs Cos
 // runs under the lock, which is exactly why it convoys on SMP.
 func (s *Serial) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 	t.MaybeYield()
+	start := t.Now()
 	main := s.arenas[0]
 	s.opCharge(t, 0, main)
 	if p, err, done := s.mmapPath(t, size); done {
+		if err == nil {
+			s.telOp(t, telemetry.OpMalloc, s.params.Request2Size(size), telemetry.TierVM, start)
+		}
 		return p, err
 	}
 	t.Lock(main.Lock)
@@ -39,21 +44,31 @@ func (s *Serial) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 	p, err := main.Malloc(t, size)
 	t.Unlock(main.Lock)
 	s.lastArena[t.ID()] = main
+	if err == nil {
+		s.telOp(t, telemetry.OpMalloc, s.params.Request2Size(size), telemetry.TierArena, start)
+	}
 	return p, err
 }
 
 // Free releases mem, also fully under the lock.
 func (s *Serial) Free(t *sim.Thread, mem uint64) error {
 	t.MaybeYield()
+	start := t.Now()
 	main := s.arenas[0]
 	s.opCharge(t, 0, main)
 	if done, err := s.freeIfMmapped(t, mem); done {
+		if err == nil {
+			s.telOp(t, telemetry.OpFree, 0, telemetry.TierVM, start)
+		}
 		return err
 	}
 	t.Lock(main.Lock)
 	t.Charge(sim.Time(s.costs.WorkFree))
 	err := main.Free(t, mem)
 	t.Unlock(main.Lock)
+	if err == nil {
+		s.telOp(t, telemetry.OpFree, 0, telemetry.TierArena, start)
+	}
 	return err
 }
 

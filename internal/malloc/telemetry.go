@@ -1,0 +1,74 @@
+package malloc
+
+import (
+	"mtmalloc/internal/telemetry"
+)
+
+// AttachTelemetry wires rec into al: op recording inside the design, and a
+// sample source that snapshots the allocator for the time series (byte
+// gauges per caching tier, pressure level, lock/CAS wait cycles, and the
+// per-arena resident-vs-live fragmentation gauge). It reports false for an
+// allocator without the package-internal hooks (none of the built-in
+// kinds). Attaching a nil recorder detaches telemetry.
+//
+// Everything the sample source reads is Go-side bookkeeping — no cycles
+// are charged, no locks taken — so an attached recorder cannot perturb
+// the simulation.
+func AttachTelemetry(al Allocator, rec *telemetry.Recorder) bool {
+	b := baseOfAllocator(al)
+	if b == nil {
+		return false
+	}
+	b.tel = rec
+	if rec == nil {
+		return true
+	}
+	rec.SetSampleSource(func() telemetry.Sample { return snapshotSample(al, b) })
+	return true
+}
+
+// baseOfAllocator digs the shared base out of al, unwrapping the pressure
+// shell when present.
+func baseOfAllocator(al Allocator) *base {
+	if r, ok := al.(*resilient); ok {
+		return r.rec.baseOf()
+	}
+	if rec, ok := al.(reclaimer); ok {
+		return rec.baseOf()
+	}
+	return nil
+}
+
+// snapshotSample builds one time-series point from the allocator's own
+// aggregate stats plus the machine's contention-point counters.
+func snapshotSample(al Allocator, b *base) telemetry.Sample {
+	st := al.Stats()
+	s := telemetry.Sample{
+		ResidentBytes:  b.as.Stats().ResidentBytes,
+		CommittedBytes: st.CommittedBytes,
+		CachedBytes:    st.CachedBytes,
+		DepotBytes:     st.DepotBytes,
+		ParkedBytes:    st.MmapReuseParked,
+		PressureLevel:  st.PressureLevel,
+	}
+	// Machine.Points() is the registration-order slice, so the walk is
+	// deterministic. A point driven by compare-and-swap retries reports
+	// its wait as CAS cycles; everything else is lock wait.
+	for _, p := range b.as.Machine().Points() {
+		ps := p.PointStats()
+		if ps.CASAttempts > 0 {
+			s.CASWaitCycles += uint64(ps.WaitCycles)
+		} else {
+			s.LockWaitCycles += uint64(ps.WaitCycles)
+		}
+	}
+	for _, a := range b.arenas {
+		as := a.Stats()
+		s.Arenas = append(s.Arenas, telemetry.ArenaFrag{
+			Index:         a.Index,
+			ResidentBytes: as.ResidentBytes,
+			LiveBytes:     as.BytesInUse,
+		})
+	}
+	return s
+}

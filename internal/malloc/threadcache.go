@@ -9,6 +9,7 @@ import (
 	"mtmalloc/internal/heap"
 	"mtmalloc/internal/scavenge"
 	"mtmalloc/internal/sim"
+	"mtmalloc/internal/telemetry"
 	"mtmalloc/internal/vm"
 )
 
@@ -367,6 +368,9 @@ func (tc *ThreadCache) cacheOf(t *sim.Thread) *tcache {
 // stay parked — the magazine keeps its warm, correctly-placed subset.
 func (tc *ThreadCache) rehomeCache(t *sim.Thread, c *tcache, node int) {
 	tc.stats.CacheRehomes++
+	if tc.tel != nil {
+		tc.tel.Instant(t, "magazine rehome", "numa")
+	}
 	for _, csz := range sortedKeys(c.classes) {
 		cl := c.classes[csz]
 		keep := cl.entries[:0]
@@ -442,9 +446,13 @@ func (tc *ThreadCache) growPool(t *sim.Thread, sh *poolShard) (*heap.Arena, erro
 // Malloc allocates size bytes, serving cacheable sizes from the local cache.
 func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 	t.MaybeYield()
+	start := t.Now()
 	tc.opCharge(t, 0, tc.lastArena[t.ID()])
 	tc.maybeScavenge(t)
 	if mem, err, done := tc.mmapPath(t, size); done {
+		if err == nil {
+			tc.telOp(t, telemetry.OpMalloc, tc.params.Request2Size(size), telemetry.TierVM, start)
+		}
 		return mem, err
 	}
 	c := tc.cacheOf(t)
@@ -458,6 +466,7 @@ func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 			tc.growOnStreak(cl)
 			tc.userMallocs++
 			tc.lastArena[t.ID()] = e.arena
+			tc.telOp(t, telemetry.OpMalloc, sz, telemetry.TierMagazine, start)
 			return e.mem, nil
 		}
 		tc.stats.CacheMisses++
@@ -472,6 +481,7 @@ func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 				cl.entries = append(cl.entries, span[:len(span)-1]...)
 				tc.userMallocs++
 				tc.lastArena[t.ID()] = e.arena
+				tc.telOp(t, telemetry.OpMalloc, sz, telemetry.TierDepot, start)
 				return e.mem, nil
 			}
 		}
@@ -481,12 +491,14 @@ func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 			mem, err := tc.buddyBatch(t, c, sz)
 			if err == nil {
 				tc.userMallocs++
+				tc.telOp(t, telemetry.OpMalloc, sz, telemetry.TierArena, start)
 			}
 			return mem, err
 		}
 		mem, err := tc.arenaBatch(t, c, size, tc.batch-1, tc.costs.CacheRefill+tc.costs.WorkMalloc)
 		if err == nil {
 			tc.userMallocs++
+			tc.telOp(t, telemetry.OpMalloc, sz, telemetry.TierArena, start)
 		}
 		return mem, err
 	}
@@ -494,6 +506,7 @@ func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 	mem, err := tc.arenaBatch(t, c, size, 0, tc.costs.WorkMalloc)
 	if err == nil {
 		tc.userMallocs++
+		tc.telOp(t, telemetry.OpMalloc, sz, telemetry.TierArena, start)
 	}
 	return mem, err
 }
@@ -596,6 +609,7 @@ func (tc *ThreadCache) buddyBatch(t *sim.Thread, c *tcache, sz uint32) (uint64, 
 // crossing its high-water mark is flushed back in arena-grouped batches.
 func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 	t.MaybeYield()
+	start := t.Now()
 	tc.opCharge(t, 0, tc.lastArena[t.ID()])
 	tc.maybeScavenge(t)
 	if tc.lf != nil {
@@ -605,10 +619,13 @@ func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 		// buddy chunk is a neighbour's user bytes — data that can fake the
 		// IsMmapped flag and send the chunk to a bogus munmap.
 		if sp := tc.lf.spanOf(t, mem, tc.costs.TSDRead); sp != nil {
-			return tc.freeBuddy(t, mem, sp)
+			return tc.freeBuddy(t, mem, sp, start)
 		}
 	}
 	if done, err := tc.freeIfMmapped(t, mem); done {
+		if err == nil {
+			tc.telOp(t, telemetry.OpFree, 0, telemetry.TierVM, start)
+		}
 		return err
 	}
 	a, err := tc.routeFree(t, mem)
@@ -637,14 +654,24 @@ func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 			if len(cl.remote) >= tc.batch {
 				victims := cl.remote
 				cl.remote = nil
-				return tc.release(t, csz, victims)
+				err := tc.release(t, csz, victims)
+				if err == nil {
+					tc.telOp(t, telemetry.OpFree, csz, telemetry.TierDepot, start)
+				}
+				return err
 			}
+			tc.telOp(t, telemetry.OpFree, csz, telemetry.TierMagazine, start)
 			return nil
 		}
 		cl.entries = append(cl.entries, tcEntry{mem, a})
 		if len(cl.entries) > cl.mark {
-			return tc.flushClass(t, cl)
+			err := tc.flushClass(t, cl)
+			if err == nil {
+				tc.telOp(t, telemetry.OpFree, csz, telemetry.TierDepot, start)
+			}
+			return err
 		}
+		tc.telOp(t, telemetry.OpFree, csz, telemetry.TierMagazine, start)
 		return nil
 	}
 	t.Lock(a.Lock)
@@ -653,6 +680,7 @@ func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 	t.Unlock(a.Lock)
 	if ferr == nil {
 		tc.userFrees++
+		tc.telOp(t, telemetry.OpFree, csz, telemetry.TierArena, start)
 	}
 	return ferr
 }
@@ -661,7 +689,7 @@ func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 // local magazine, remote buffer for other nodes' memory — except that the
 // owning node comes from the span and the eventual flush returns the chunk
 // to its span instead of an arena lock.
-func (tc *ThreadCache) freeBuddy(t *sim.Thread, mem uint64, sp *lfSpan) error {
+func (tc *ThreadCache) freeBuddy(t *sim.Thread, mem uint64, sp *lfSpan, start sim.Time) error {
 	c := tc.cacheOf(t)
 	csz := sp.csz
 	if csz >= heap.MinChunk && csz <= tc.maxBlock {
@@ -675,14 +703,24 @@ func (tc *ThreadCache) freeBuddy(t *sim.Thread, mem uint64, sp *lfSpan) error {
 			if len(cl.remote) >= tc.batch {
 				victims := cl.remote
 				cl.remote = nil
-				return tc.release(t, csz, victims)
+				err := tc.release(t, csz, victims)
+				if err == nil {
+					tc.telOp(t, telemetry.OpFree, csz, telemetry.TierDepot, start)
+				}
+				return err
 			}
+			tc.telOp(t, telemetry.OpFree, csz, telemetry.TierMagazine, start)
 			return nil
 		}
 		cl.entries = append(cl.entries, tcEntry{mem: mem})
 		if len(cl.entries) > cl.mark {
-			return tc.flushClass(t, cl)
+			err := tc.flushClass(t, cl)
+			if err == nil {
+				tc.telOp(t, telemetry.OpFree, csz, telemetry.TierDepot, start)
+			}
+			return err
 		}
+		tc.telOp(t, telemetry.OpFree, csz, telemetry.TierMagazine, start)
 		return nil
 	}
 	// Oversized buddy chunks (no current path carves one) return straight to
@@ -691,6 +729,7 @@ func (tc *ThreadCache) freeBuddy(t *sim.Thread, mem uint64, sp *lfSpan) error {
 		return err
 	}
 	tc.userFrees++
+	tc.telOp(t, telemetry.OpFree, csz, telemetry.TierArena, start)
 	return nil
 }
 

@@ -1,0 +1,150 @@
+package stats
+
+import "math/bits"
+
+// LogHistogram is a log-bucketed histogram over uint64 samples (cycle
+// counts), the shape latency recording wants: fine resolution near zero,
+// bounded bucket count out to 2^64, O(1) insertion and no stored samples.
+//
+// Bucketing follows the HdrHistogram scheme with logSub sub-buckets per
+// power-of-two octave: values below 2*logSub land in their own exact
+// bucket, and every larger octave [2^e, 2^(e+1)) is split into logSub
+// equal-width buckets, so the relative error of any reported quantile is
+// bounded by 1/logSub regardless of magnitude.
+//
+// All state is plain counters and all arithmetic is integer, so two runs
+// that record the same samples produce bit-identical histograms — the
+// property the telemetry layer's determinism guarantee rests on.
+type LogHistogram struct {
+	counts []uint64 // grown lazily; index per logBucket
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+const (
+	logSub     = 8 // sub-buckets per octave (power of two)
+	logSubBits = 3 // log2(logSub)
+)
+
+// logBucket maps a sample to its bucket index. Values below 2*logSub get
+// exact unit buckets 0..2*logSub-1; a value in octave [2^e, 2^(e+1)) with
+// e >= logSubBits+1 lands in bucket logSub*e + m - 2*logSub, where m is
+// the top logSubBits bits below the leading bit. The two ranges meet
+// exactly at v = 2*logSub (index 2*logSub).
+func logBucket(v uint64) int {
+	if v < 2*logSub {
+		return int(v)
+	}
+	e := uint(bits.Len64(v) - 1) // 2^e <= v < 2^(e+1)
+	m := int(v>>(e-logSubBits)) & (logSub - 1)
+	return logSub*int(e) + m - 2*logSub
+}
+
+// LogBucketBounds returns the half-open value range [lo, hi) that bucket i
+// covers. It is the inverse of the bucket mapping and exists so tests and
+// report code can reason about boundaries without duplicating the scheme.
+func LogBucketBounds(i int) (lo, hi uint64) {
+	if i < 2*logSub {
+		return uint64(i), uint64(i) + 1
+	}
+	e := uint((i + 2*logSub) / logSub)
+	m := uint64((i + 2*logSub) % logSub)
+	lo = 1<<e + m<<(e-logSubBits)
+	return lo, lo + 1<<(e-logSubBits)
+}
+
+// bucketMax is the largest value bucket i can hold.
+func bucketMax(i int) uint64 {
+	_, hi := LogBucketBounds(i)
+	return hi - 1
+}
+
+// Add records one sample.
+func (h *LogHistogram) Add(v uint64) {
+	i := logBucket(v)
+	if i >= len(h.counts) {
+		grown := make([]uint64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Total returns the number of recorded samples.
+func (h *LogHistogram) Total() uint64 { return h.total }
+
+// Sum returns the sum of all recorded samples.
+func (h *LogHistogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *LogHistogram) Max() uint64 { return h.max }
+
+// Mean returns the exact mean of the recorded samples (0 when empty).
+func (h *LogHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the upper
+// representative (inclusive maximum) of the bucket holding the sample of
+// rank ceil(q*Total), clamped so the reported value never exceeds Max.
+// For values below 2*logSub the buckets are exact, so such quantiles are
+// exact; larger ones are accurate to one sub-bucket (1/logSub relative).
+// An empty histogram reports 0.
+func (h *LogHistogram) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if float64(rank) < q*float64(h.total) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		if c > 0 && cum >= rank {
+			v := bucketMax(i)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge accumulates o into h; o is unchanged. Histograms merge exactly:
+// the result is identical to recording both sample streams into a single
+// histogram.
+func (h *LogHistogram) Merge(o *LogHistogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if len(o.counts) > len(h.counts) {
+		grown := make([]uint64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}

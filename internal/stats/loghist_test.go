@@ -1,0 +1,116 @@
+package stats
+
+import "testing"
+
+func TestLogHistogramEmpty(t *testing.T) {
+	var h LogHistogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile(0.5) = %d, want 0", got)
+	}
+	if h.Total() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram has non-zero aggregates: %+v", h)
+	}
+}
+
+func TestLogHistogramOneSample(t *testing.T) {
+	// Values below 2*logSub land in exact unit buckets, so every quantile
+	// of a one-sample histogram must report the sample itself.
+	var h LogHistogram
+	h.Add(7)
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("Quantile(%g) = %d, want 7", q, got)
+		}
+	}
+	if h.Total() != 1 || h.Sum() != 7 || h.Max() != 7 {
+		t.Fatalf("aggregates wrong: total=%d sum=%d max=%d", h.Total(), h.Sum(), h.Max())
+	}
+
+	// A large one-sample histogram must clamp the bucket's upper bound to
+	// the recorded max.
+	var big LogHistogram
+	big.Add(1_000_003)
+	if got := big.Quantile(0.5); got != 1_000_003 {
+		t.Fatalf("Quantile(0.5) = %d, want 1000003 (clamped to max)", got)
+	}
+}
+
+func TestLogHistogramBucketBoundary(t *testing.T) {
+	// 2*logSub = 16 is the first non-exact bucket: [16, 18). Its reported
+	// quantile is the bucket max 17 unless clamped by the histogram max.
+	var h LogHistogram
+	h.Add(16)
+	h.Add(17)
+	if got := h.Quantile(1); got != 17 {
+		t.Fatalf("Quantile(1) = %d, want 17", got)
+	}
+	if b16, b17 := logBucket(16), logBucket(17); b16 != b17 {
+		t.Fatalf("16 and 17 should share a bucket: %d vs %d", b16, b17)
+	}
+	if b17, b18 := logBucket(17), logBucket(18); b17 == b18 {
+		t.Fatalf("17 and 18 should be in different buckets: both %d", b17)
+	}
+
+	// The bucket mapping and its inverse must agree everywhere: every
+	// value up to a few octaves lands inside its own bucket's bounds, and
+	// indices are monotone non-decreasing.
+	prev := -1
+	for v := uint64(0); v < 1<<12; v++ {
+		i := logBucket(v)
+		lo, hi := LogBucketBounds(i)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d in bucket %d with bounds [%d, %d)", v, i, lo, hi)
+		}
+		if i < prev {
+			t.Fatalf("bucket index regressed at v=%d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestLogHistogramQuantileOrder(t *testing.T) {
+	var h LogHistogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	p50, p99, p999 := h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999)
+	if p50 > p99 || p99 > p999 {
+		t.Fatalf("quantiles out of order: p50=%d p99=%d p999=%d", p50, p99, p999)
+	}
+	// 1/logSub relative error bound.
+	if p50 < 500 || p50 > 500+500/8+1 {
+		t.Fatalf("p50 = %d, want within 1/8 above 500", p50)
+	}
+	if p999 > 1000 {
+		t.Fatalf("p999 = %d exceeds max 1000", p999)
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	var a, b, both LogHistogram
+	for v := uint64(0); v < 200; v++ {
+		a.Add(v)
+		both.Add(v)
+	}
+	for v := uint64(5000); v < 5100; v++ {
+		b.Add(v)
+		both.Add(v)
+	}
+	a.Merge(&b)
+	if a.Total() != both.Total() || a.Sum() != both.Sum() || a.Max() != both.Max() {
+		t.Fatalf("merge aggregates differ: merged total=%d sum=%d max=%d, want %d %d %d",
+			a.Total(), a.Sum(), a.Max(), both.Total(), both.Sum(), both.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		if got, want := a.Quantile(q), both.Quantile(q); got != want {
+			t.Fatalf("merged Quantile(%g) = %d, want %d", q, got, want)
+		}
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := a.Total()
+	a.Merge(&LogHistogram{})
+	a.Merge(nil)
+	if a.Total() != before {
+		t.Fatalf("empty merge changed total: %d -> %d", before, a.Total())
+	}
+}

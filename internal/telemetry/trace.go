@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"encoding/json"
+
+	"mtmalloc/internal/sim"
+)
+
+// traceEvent is one entry of the Chrome trace-event format (the JSON
+// object form that chrome://tracing and Perfetto load). ts and dur are
+// microseconds; ph "X" is a complete (duration) event, "i" an instant.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Cat  string  `json:"cat,omitempty"`
+	S    string  `json:"s,omitempty"` // instant-event scope ("t" = thread)
+}
+
+// usec converts virtual cycles to trace microseconds via the configured
+// clock rate (cycles per microsecond == MHz).
+func (r *Recorder) usec(c sim.Time) float64 {
+	return float64(c) / r.cfg.ClockMHz
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// TraceJSON serializes every recorded event as a Chrome trace-event file.
+// Events appear in recording order, which the deterministic engine makes
+// reproducible; viewers sort by timestamp themselves.
+func (r *Recorder) TraceJSON() ([]byte, error) {
+	events := []traceEvent{}
+	if r != nil {
+		events = append(events, r.events...)
+	}
+	return json.MarshalIndent(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}
+
+// EventCount returns the number of recorded trace events.
+func (r *Recorder) EventCount() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}

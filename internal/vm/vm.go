@@ -390,6 +390,23 @@ func (as *AddressSpace) Cache() *cache.Model { return as.cache }
 // Brk returns the current program break.
 func (as *AddressSpace) Brk() uint64 { return as.brk }
 
+// ResidentBytesIn counts the resident bytes inside [start, end): pages the
+// program has touched and not released back to the kernel. It is a Go-side
+// bookkeeping walk (uncharged) for observability — the per-arena
+// external-fragmentation gauge compares it against live chunk bytes.
+func (as *AddressSpace) ResidentBytesIn(start, end uint64) uint64 {
+	if end <= start {
+		return 0
+	}
+	var n uint64
+	for p := start / PageSize; p <= (end-1)/PageSize; p++ {
+		if _, ok := as.pages[p]; ok {
+			n += PageSize
+		}
+	}
+	return n
+}
+
 // Stats returns a snapshot of the VM statistics.
 func (as *AddressSpace) Stats() Stats {
 	s := as.stats
