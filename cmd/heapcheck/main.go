@@ -32,7 +32,7 @@ import (
 
 func main() {
 	profileName := flag.String("profile", "quad-xeon-500", "machine profile")
-	allocator := flag.String("allocator", "ptmalloc", "allocator kind: serial, ptmalloc, perthread, threadcache, lockfree")
+	allocator := flag.String("allocator", "ptmalloc", "allocator kind: serial, ptmalloc, perthread, threadcache, lockfree (plus threadcache-svc, lockfree-svc)")
 	threads := flag.Int("threads", 4, "worker threads")
 	ops := flag.Int("ops", 20000, "operations per thread")
 	seeds := flag.Int("seeds", 5, "number of seeds to torture")
@@ -41,6 +41,7 @@ func main() {
 	scavenge := flag.Int64("scavenge", 0, "scavenger epoch interval in cycles (0 off): tortures reclamation against the churn")
 	binnedRelease := flag.Bool("binned-release", false, "enable the PageHeap-style binned-chunk page release with no resident pad (implies -scavenge 50000 when -scavenge is 0): tortures interior releases against the churn")
 	nodes := flag.Int("nodes", 0, "override the profile's NUMA node count (0 keeps it): tortures node-sharded placement and cross-node free routing")
+	offload := flag.Bool("offload", false, "run per-node allocator service threads (mailbox refill/flush/scavenge offload): tortures the asynchronous span exchange against the churn")
 	memLimit := flag.Uint64("memlimit", 0, "absolute commit limit in bytes (0 off): tortures the emergency reclamation cascade")
 	memLimitRatio := flag.Float64("memlimit-ratio", 0, "commit limit as a fraction of the unlimited run's peak committed bytes (0 off; measures peak with a first pass per seed)")
 	faultRate := flag.Float64("faultrate", 0, "probability of an injected mmap/sbrk failure per growth attempt (0 off; deterministic per seed)")
@@ -64,7 +65,7 @@ func main() {
 		cfg := tortureConfig{
 			prof: prof, kind: malloc.Kind(*allocator),
 			threads: *threads, ops: *ops, maxSize: *maxSize, checkEvery: *checkEvery,
-			scavenge: *scavenge, binnedRelease: *binnedRelease,
+			scavenge: *scavenge, binnedRelease: *binnedRelease, offload: *offload,
 			memLimit: *memLimit, faultRate: *faultRate, seed: uint64(seed),
 			telemetry: *telemetryOn,
 		}
@@ -100,6 +101,7 @@ type tortureConfig struct {
 	threads, ops, maxSize, checkEvery int
 	scavenge                          int64
 	binnedRelease                     bool
+	offload                           bool
 	memLimit                          uint64
 	faultRate                         float64
 	seed                              uint64
@@ -145,17 +147,20 @@ func printTelemetry(rec *telemetry.Recorder) {
 
 func torture(cfg tortureConfig) (tortureResult, error) {
 	opts := []bench.WorldOption{bench.WithAllocator(cfg.kind)}
-	if cfg.scavenge > 0 {
-		// Designs without a scavenger simply ignore the knobs, so one flag
-		// set tortures all five kinds uniformly.
+	if cfg.scavenge > 0 || cfg.offload {
+		// Designs without a scavenger or service engine simply ignore the
+		// knobs, so one flag set tortures all kinds uniformly.
 		costs := cfg.prof.AllocCosts
-		costs.ScavengeInterval = cfg.scavenge
+		if cfg.scavenge > 0 {
+			costs.ScavengeInterval = cfg.scavenge
+		}
 		if cfg.binnedRelease {
 			// Padless and floor-at-one-page: maximum release pressure, so
 			// every released interior the churn re-carves is checked.
 			costs.ScavengeMinBinBytes = 4096
 			costs.ScavengeBinPad = -1
 		}
+		costs.Offload = cfg.offload
 		opts = append(opts, bench.WithAllocCosts(costs))
 	}
 	w := bench.NewWorld(cfg.prof, cfg.seed, opts...)
@@ -173,6 +178,10 @@ func torture(cfg tortureConfig) (tortureResult, error) {
 		}
 		if cfg.memLimit > 0 {
 			as.SetMemLimit(cfg.memLimit)
+		}
+		svc := malloc.ServiceOf(al)
+		if svc != nil {
+			svc.Start(main)
 		}
 		if cfg.faultRate > 0 {
 			as.SetFaultInjection(vm.InjectPolicy{Prob: cfg.faultRate, Seed: cfg.seed})
@@ -251,6 +260,11 @@ func torture(cfg tortureConfig) (tortureResult, error) {
 		}
 		for _, x := range ws {
 			main.Join(x)
+		}
+		if svc != nil {
+			// Stop drains every mailbox back through the depots before the
+			// final structural check and the malloc/free balance below.
+			svc.Stop(main)
 		}
 		for _, o := range shared {
 			if err := al.Free(main, o.p); err != nil {

@@ -13,6 +13,7 @@
 //	mallocbench -bench d4 -scale 1 -json BENCH_D4.json
 //	mallocbench -bench d5 -scale 1 -json BENCH_D5.json
 //	mallocbench -bench d6 -scale 1 -json BENCH_D6.json
+//	mallocbench -bench d10 -scale 1 -json BENCH_D10.json
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson, d2 (mid-tier ablation), d3 (footprint phase-shift), d4 (NUMA locality), d5 (contention scaling) or d6 (memory-pressure degradation)")
+	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson, d2 (mid-tier ablation), d3 (footprint phase-shift), d4 (NUMA locality), d5 (contention scaling), d6 (memory-pressure degradation) or d10 (service-thread offload)")
 	profileName := flag.String("profile", "quad-xeon-500", "machine profile")
 	threads := flag.Int("threads", 2, "worker threads")
 	processes := flag.Bool("processes", false, "benchmark 1: one process per worker")
@@ -162,8 +163,14 @@ func main() {
 			fatal(err)
 		}
 		tab = res
+	case "d10":
+		res, err := bench.ExpServiceOffload(bench.Options{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		tab = res
 	default:
-		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson, d2, d3, d4, d5 or d6)", *which))
+		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson, d2, d3, d4, d5, d6 or d10)", *which))
 	}
 
 	if *jsonPath != "" {
@@ -190,17 +197,22 @@ func main() {
 // here beats catching it in a trace viewer.
 func writeTelemetry(path string, rec *telemetry.Recorder) error {
 	rep := rec.Report()
-	var mallocCycles, freeCycles uint64
+	var mallocCycles, freeCycles, mailboxCycles uint64
 	for _, ts := range rep.Tiers {
-		if ts.Op == "malloc" {
+		switch ts.Op {
+		case "malloc":
 			mallocCycles += ts.Cycles
-		} else {
+		case "free":
 			freeCycles += ts.Cycles
+		case "mailbox":
+			mailboxCycles += ts.Cycles
+		default:
+			return fmt.Errorf("telemetry: tier attribution carries unknown op kind %q", ts.Op)
 		}
 	}
-	if mallocCycles != rep.TotalMallocCycles || freeCycles != rep.TotalFreeCycles {
-		return fmt.Errorf("telemetry: tier attribution (%d/%d cycles) does not sum to the op totals (%d/%d)",
-			mallocCycles, freeCycles, rep.TotalMallocCycles, rep.TotalFreeCycles)
+	if mallocCycles != rep.TotalMallocCycles || freeCycles != rep.TotalFreeCycles || mailboxCycles != rep.TotalMailboxCycles {
+		return fmt.Errorf("telemetry: tier attribution (%d/%d/%d cycles) does not sum to the op totals (%d/%d/%d)",
+			mallocCycles, freeCycles, mailboxCycles, rep.TotalMallocCycles, rep.TotalFreeCycles, rep.TotalMailboxCycles)
 	}
 	if len(rep.Samples) == 0 {
 		return fmt.Errorf("telemetry: empty time series")

@@ -141,9 +141,16 @@ func RunFootprint(cfg FootprintConfig) (FootprintRun, error) {
 		})
 
 		// The background scavenger keeps decay passes running through the
-		// idle phases, when no allocator thread is ticking inline.
+		// idle phases, when no allocator thread is ticking inline. With
+		// offload on the per-node service threads are that background actor
+		// (they drive the cascade from their epoch loop), so a dedicated
+		// scavenger thread would be a second driver — the service engine
+		// replaces it outright.
+		svc := malloc.ServiceOf(al)
 		var scavThread *sim.Thread
-		if sc, ok := al.(interface{ Scavenger() *scavenge.Scavenger }); ok && sc.Scavenger() != nil {
+		if svc != nil {
+			svc.Start(main)
+		} else if sc, ok := al.(interface{ Scavenger() *scavenge.Scavenger }); ok && sc.Scavenger() != nil {
 			scavThread = main.Spawn("scavenger", func(t *sim.Thread) {
 				sc.Scavenger().Background(t, func() bool { return stop })
 			})
@@ -215,6 +222,9 @@ func RunFootprint(cfg FootprintConfig) (FootprintRun, error) {
 		main.Join(sampler)
 		if scavThread != nil {
 			main.Join(scavThread)
+		}
+		if svc != nil {
+			svc.Stop(main)
 		}
 
 		// Per-phase throughput: every fill/drain slot op plus every churn

@@ -46,6 +46,19 @@ type LarsonConfig struct {
 	// concentrate contention on one node's depot and page backend instead of
 	// spreading it evenly. Ops still counts replaces per producer.
 	Producers int
+	// Rotate switches to the classic Larson & Krishnan "bleeding" handoff,
+	// the benchmark's defining structure: memory allocated by one thread is
+	// freed by another. Ops is split into RotateRounds rounds; between
+	// rounds every thread hands its slot array to the next one, so each
+	// round frees objects the array's previous holder allocated — balanced
+	// cross-thread (at NUMA scale mostly cross-node) frees, the sustained
+	// remote-free and refill traffic a server's allocator actually sees.
+	// A full barrier separates rounds so two threads never work one array.
+	// Mutually exclusive with Producers, Phases and TolerateOOM.
+	Rotate bool
+	// RotateRounds is the number of handoff rounds when Rotate is set
+	// (default 8, clamped to Ops).
+	RotateRounds int
 	Runs         int
 	Seed         uint64
 	// Allocator overrides the profile default when non-empty.
@@ -118,6 +131,9 @@ func RunLarson(cfg LarsonConfig) (LarsonResult, error) {
 	if cfg.Producers > 0 && len(cfg.Phases) > 0 {
 		return LarsonResult{}, fmt.Errorf("larson: Producers and Phases are mutually exclusive")
 	}
+	if cfg.Rotate && (cfg.Producers > 0 || len(cfg.Phases) > 0 || cfg.TolerateOOM) {
+		return LarsonResult{}, fmt.Errorf("larson: Rotate excludes Producers, Phases and TolerateOOM")
+	}
 	res := LarsonResult{Config: cfg}
 	for run := 0; run < cfg.Runs; run++ {
 		r, err := runLarsonOnce(cfg, cfg.Seed+uint64(run)*65537)
@@ -166,12 +182,30 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 			malloc.AttachTelemetry(al, rec)
 			out.Telemetry = rec
 		}
+		// Offloaded designs spawn their per-node service threads before the
+		// clock starts and stop them after the last worker joins but outside
+		// the measured wall (the stop join only waits out one epoch).
+		svc := malloc.ServiceOf(al)
+		if svc != nil {
+			svc.Start(main)
+		}
 		start := main.Now()
-		if cfg.Producers > 0 {
-			runLarsonImbalanced(cfg, w, main, inst)
+		if cfg.Producers > 0 || cfg.Rotate {
+			if cfg.Producers > 0 {
+				runLarsonImbalanced(cfg, w, main, inst)
+			} else {
+				runLarsonRotate(cfg, w, main, inst)
+			}
 			wall := w.Seconds(main.Now() - start)
+			if svc != nil {
+				svc.Stop(main)
+			}
+			workers := cfg.Threads
+			if cfg.Producers > 0 {
+				workers = cfg.Producers
+			}
 			out.WallSeconds = wall
-			out.Throughput = float64(cfg.Ops*cfg.Producers) / wall
+			out.Throughput = float64(cfg.Ops*workers) / wall
 			out.VMStats = as.Stats()
 			out.MinorFaults = out.VMStats.MinorFaults
 			out.ArenaCount = len(al.Arenas())
@@ -257,6 +291,9 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 			main.Join(wk)
 		}
 		wall := w.Seconds(main.Now() - start)
+		if svc != nil {
+			svc.Stop(main)
+		}
 		out.WallSeconds = wall
 		out.Throughput = float64(cfg.Ops*cfg.Threads) / wall
 		out.VMStats = as.Stats()
@@ -266,6 +303,88 @@ func runLarsonOnce(cfg LarsonConfig, seed uint64) (LarsonRun, error) {
 		out.OOMSkips = oomSkips
 	})
 	return out, err
+}
+
+// runLarsonRotate is the Rotate variant: the classic Larson "bleeding"
+// structure where each round a thread replaces slots in the array the
+// previous round's holder filled. The arrays and the round barrier are
+// host-side plumbing (the engine resumes one simulated thread at a time, so
+// plain slices and counters are safe); the barrier is the polling kind the
+// imbalanced variant's consumers already use.
+func runLarsonRotate(cfg LarsonConfig, w *World, main *sim.Thread, inst *Instance) {
+	al, as := inst.Alloc, inst.AS
+	rounds := cfg.RotateRounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	if rounds > cfg.Ops {
+		rounds = cfg.Ops
+	}
+	arrs := make([]uint64, cfg.Threads)
+	arrived := 0 // cumulative count of (worker, round) completions
+	workers := make([]*sim.Thread, cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		i := i
+		workers[i] = main.Spawn(fmt.Sprintf("larson-%d", i), func(t *sim.Thread) {
+			al.AttachThread(t)
+			defer al.DetachThread(t)
+			rng := t.RNG()
+			randSize := func() uint32 {
+				return cfg.MinSize + uint32(rng.Intn(int(cfg.MaxSize-cfg.MinSize)+1))
+			}
+			arr, err := al.Malloc(t, uint32(4*cfg.Slots))
+			if err != nil {
+				panic(fmt.Sprintf("larson: slot array: %v", err))
+			}
+			for s := 0; s < cfg.Slots; s++ {
+				p, err := al.Malloc(t, randSize())
+				if err != nil {
+					panic(fmt.Sprintf("larson: prefill: %v", err))
+				}
+				as.Write32(t, arr+uint64(4*s), uint32(p))
+			}
+			arrs[i] = arr
+			done := 0
+			for r := 0; r < rounds; r++ {
+				n := cfg.Ops / rounds
+				if r == rounds-1 {
+					n = cfg.Ops - done
+				}
+				done += n
+				// Round r works the array r hops ahead: every object freed
+				// was allocated (or last replaced) by another thread.
+				cur := arrs[(i+r)%cfg.Threads]
+				for op := 0; op < n; op++ {
+					s := rng.Intn(cfg.Slots)
+					old := uint64(as.Read32(t, cur+uint64(4*s)))
+					if cfg.TouchObjects {
+						as.Read8(t, old)
+					}
+					if err := al.Free(t, old); err != nil {
+						panic(fmt.Sprintf("larson: free: %v", err))
+					}
+					sz := randSize()
+					p, err := al.Malloc(t, sz)
+					if err != nil {
+						panic(fmt.Sprintf("larson: alloc: %v", err))
+					}
+					if cfg.TouchObjects {
+						for off := uint64(0); off < uint64(sz); off += vm.PageSize {
+							as.Write8(t, p+off, byte(op))
+						}
+					}
+					as.Write32(t, cur+uint64(4*s), uint32(p))
+				}
+				arrived++
+				for arrived < (r+1)*cfg.Threads {
+					t.Sleep(2000)
+				}
+			}
+		})
+	}
+	for _, wk := range workers {
+		main.Join(wk)
+	}
 }
 
 // runLarsonImbalanced is the Producers > 0 variant: producers run the usual

@@ -18,6 +18,13 @@ const (
 	KindPerThread   Kind = "perthread"   // one arena per thread
 	KindThreadCache Kind = "threadcache" // per-thread magazine over a shared arena pool
 	KindLockFree    Kind = "lockfree"    // thread cache with CAS depot + buddy page backend
+
+	// Offloaded variants (CostParams.Offload forced on): the same machines
+	// with bookkeeping moved to per-node service threads (service.go). Not
+	// listed by Kinds() — experiments that sweep the five designs keep
+	// their original matrix; D10 names these explicitly.
+	KindThreadCacheSvc Kind = "threadcache-svc"
+	KindLockFreeSvc    Kind = "lockfree-svc"
 )
 
 // Kinds lists every allocator kind.
@@ -44,6 +51,10 @@ func New(t *sim.Thread, kind Kind, as *vm.AddressSpace, params heap.Params, cost
 		al, err = NewThreadCache(t, as, params, costs)
 	case KindLockFree:
 		al, err = NewLockFree(t, as, params, costs)
+	case KindThreadCacheSvc:
+		al, err = NewThreadCacheService(t, as, params, costs)
+	case KindLockFreeSvc:
+		al, err = NewLockFreeService(t, as, params, costs)
 	default:
 		return nil, fmt.Errorf("malloc: unknown allocator kind %q", kind)
 	}

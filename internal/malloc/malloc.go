@@ -259,6 +259,27 @@ type CostParams struct {
 	// arena is re-picked on the new node's shard. Off by default (the D4
 	// designs keep their measured placement drift); NewLockFree turns it on.
 	CacheRehome bool
+
+	// Offload moves the allocator's bookkeeping off the application threads
+	// and onto one service thread per NUMA node, pinned to its own CPU
+	// (service.go): magazine flushes and remote-free batches become bounded
+	// mailbox posts, refills are prefetched ahead of demand, and the scavenge
+	// cascade is driven from the service thread's epoch loop. Off by default
+	// — every pre-existing design and golden is priced exactly as before.
+	// The SpeedMalloc arrangement, at the cost of one core per node.
+	Offload bool
+	// ServiceInterval is the service thread's epoch length in cycles (how
+	// often it polls its mailbox, prefetches and scavenges). 0 takes
+	// DefaultServiceInterval.
+	ServiceInterval int64
+	// ServiceMailboxCap bounds the posts parked in one node's mailbox; a
+	// full mailbox makes the poster fall back to the synchronous release
+	// path. 0 takes DefaultServiceMailboxCap.
+	ServiceMailboxCap int
+	// ServiceWatermark is the floor on prefetched spans the service thread
+	// keeps ready per demanded size class; demand deepens the shelf up to 8x
+	// this. 0 takes DefaultServiceWatermark.
+	ServiceWatermark int
 }
 
 // DefaultMmapReuseCap is the parked-bytes cap NewThreadCache applies when
@@ -283,6 +304,20 @@ const DefaultScavengeTrimPad = 64 << 10
 const (
 	DefaultBuddyCarveWork  = 40
 	DefaultBuddyReturnWork = 30
+)
+
+// Service-thread defaults (CostParams.Offload). The epoch is short relative
+// to a scavenge interval — the mailbox must turn around within a burst — and
+// the mailbox and watermark are sized in spans, not chunks. The mailbox cap
+// must absorb a node's worth of flush traffic for one epoch: a post the cap
+// rejects sends the whole batch down the synchronous remote-release path,
+// which under a handoff (cross-node free) load costs ~1000x the post. 1024
+// posts of a 16-chunk span bound the parked overflow near 1 MB per node —
+// memory the pressure cascade reclaims first anyway.
+const (
+	DefaultServiceInterval   = 50_000
+	DefaultServiceMailboxCap = 1024
+	DefaultServiceWatermark  = 4
 )
 
 // DefaultScavengeBinPad is the per-arena resident pad of binned-chunk
@@ -394,6 +429,17 @@ type Stats struct {
 	// Magazine re-homing counters (CacheRehome).
 	CacheRehomes  uint64 // thread caches re-homed after a node migration
 	RehomedChunks uint64 // chunks released home by those re-homings
+	// Service-thread offload counters (CostParams.Offload; all zero inline).
+	SvcEpochs       uint64 // service-thread epochs run
+	SvcRefillHits   uint64 // magazine misses served by a prefetched mailbox span
+	SvcRefillMisses uint64 // mailbox checked with no span ready (fell to depot/arena)
+	SvcFlushPosts   uint64 // flush/remote batches posted to a mailbox
+	SvcFallbacks    uint64 // posts refused by a full mailbox (synchronous release)
+	SvcDrains       uint64 // posted batches the service thread drained
+	SvcRoutedSpans  uint64 // remote flush pieces posted straight into the owning node's mailbox
+	SvcPrefetches   uint64 // spans prefetched into mailboxes ahead of demand
+	SvcParkedChunks int    // chunks parked in mailboxes right now
+	SvcParkedBytes  uint64 // bytes parked in mailboxes right now
 	// Buddy page-backend counters (BuddyBackend; mirrors heap.BuddyStats).
 	BuddyAllocs    uint64 // block allocations served by the buddy
 	BuddyFrees     uint64 // whole blocks returned to the buddy

@@ -117,6 +117,11 @@ func (tc *ThreadCache) emergencyReclaim(t *sim.Thread, level int) uint64 {
 	} else if c := tc.caches[t.ID()]; c != nil {
 		flushCache(c)
 	}
+	if tc.svc != nil {
+		// Spans parked in service mailboxes are reclaimable memory too:
+		// flush them ahead of the depot drain so they coalesce with it.
+		total += tc.svc.reclaim(t)
+	}
 	for _, depot := range tc.depots {
 		spans, chunks, bytes := depot.scavenge(t, farFuture, 100)
 		if len(spans) == 0 {
@@ -295,6 +300,14 @@ func (r *resilient) ParkedBytes() uint64 {
 func (r *resilient) Scavenger() *scavenge.Scavenger {
 	if p, ok := r.Allocator.(interface{ Scavenger() *scavenge.Scavenger }); ok {
 		return p.Scavenger()
+	}
+	return nil
+}
+
+// Service forwards the offload engine so ServiceOf sees through the shell.
+func (r *resilient) Service() *Service {
+	if p, ok := r.Allocator.(interface{ Service() *Service }); ok {
+		return p.Service()
 	}
 	return nil
 }

@@ -94,6 +94,11 @@ type ThreadCache struct {
 	minBinBytes uint64
 	binPad      uint64
 
+	// svc is the per-node service-thread offload engine (service.go), nil
+	// unless CostParams.Offload opted in. Its mailbox fast paths are inert
+	// until the harness calls Service().Start.
+	svc *Service
+
 	// User-level op counts: arena counters include batch refills and
 	// deferred flushes, so Stats() reports these instead.
 	userMallocs uint64
@@ -312,6 +317,21 @@ func newThreadCacheNamed(t *sim.Thread, name string, as *vm.AddressSpace, params
 	if costs.ScavengeInterval > 0 {
 		tc.scav = tc.newScavenger(costs)
 	}
+	if costs.Offload {
+		if costs.ServiceInterval <= 0 {
+			costs.ServiceInterval = DefaultServiceInterval
+		}
+		if costs.ServiceMailboxCap <= 0 {
+			costs.ServiceMailboxCap = DefaultServiceMailboxCap
+		}
+		if costs.ServiceWatermark <= 0 {
+			costs.ServiceWatermark = DefaultServiceWatermark
+		}
+		tc.costs.ServiceInterval = costs.ServiceInterval
+		tc.costs.ServiceMailboxCap = costs.ServiceMailboxCap
+		tc.costs.ServiceWatermark = costs.ServiceWatermark
+		tc.svc = newService(tc, costs)
+	}
 	return tc, nil
 }
 
@@ -470,6 +490,22 @@ func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 			return e.mem, nil
 		}
 		tc.stats.CacheMisses++
+		// Offload fast path: a span the service thread prefetched for this
+		// class costs one mailbox claim plus the descriptor's line
+		// transfers — no lock of any kind. Hit or miss, the claim records
+		// demand so the next epoch prefetches ahead of us.
+		if tc.svc != nil {
+			if span, ok := tc.svc.takeFull(t, sz, size); ok {
+				cl := tc.classOf(c, sz)
+				cl.streak = 0
+				e := span[len(span)-1]
+				cl.entries = append(cl.entries, span[:len(span)-1]...)
+				tc.userMallocs++
+				tc.lastArena[t.ID()] = e.arena
+				tc.telOp(t, telemetry.OpMalloc, sz, telemetry.TierService, start)
+				return e.mem, nil
+			}
+		}
 		// Tier 2: one span from the caller's node's transfer cache costs a
 		// class lock and DepotXfer cycles — no arena lock, no per-chunk
 		// malloc work, and never a remote span while local ones exist.
@@ -654,9 +690,9 @@ func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 			if len(cl.remote) >= tc.batch {
 				victims := cl.remote
 				cl.remote = nil
-				err := tc.release(t, csz, victims)
+				posted, err := tc.releaseOrPost(t, csz, victims, true)
 				if err == nil {
-					tc.telOp(t, telemetry.OpFree, csz, telemetry.TierDepot, start)
+					tc.telOp(t, telemetry.OpFree, csz, freeTier(posted), start)
 				}
 				return err
 			}
@@ -665,9 +701,9 @@ func (tc *ThreadCache) Free(t *sim.Thread, mem uint64) error {
 		}
 		cl.entries = append(cl.entries, tcEntry{mem, a})
 		if len(cl.entries) > cl.mark {
-			err := tc.flushClass(t, cl)
+			posted, err := tc.flushClass(t, cl)
 			if err == nil {
-				tc.telOp(t, telemetry.OpFree, csz, telemetry.TierDepot, start)
+				tc.telOp(t, telemetry.OpFree, csz, freeTier(posted), start)
 			}
 			return err
 		}
@@ -703,9 +739,9 @@ func (tc *ThreadCache) freeBuddy(t *sim.Thread, mem uint64, sp *lfSpan, start si
 			if len(cl.remote) >= tc.batch {
 				victims := cl.remote
 				cl.remote = nil
-				err := tc.release(t, csz, victims)
+				posted, err := tc.releaseOrPost(t, csz, victims, true)
 				if err == nil {
-					tc.telOp(t, telemetry.OpFree, csz, telemetry.TierDepot, start)
+					tc.telOp(t, telemetry.OpFree, csz, freeTier(posted), start)
 				}
 				return err
 			}
@@ -714,9 +750,9 @@ func (tc *ThreadCache) freeBuddy(t *sim.Thread, mem uint64, sp *lfSpan, start si
 		}
 		cl.entries = append(cl.entries, tcEntry{mem: mem})
 		if len(cl.entries) > cl.mark {
-			err := tc.flushClass(t, cl)
+			posted, err := tc.flushClass(t, cl)
 			if err == nil {
-				tc.telOp(t, telemetry.OpFree, csz, telemetry.TierDepot, start)
+				tc.telOp(t, telemetry.OpFree, csz, freeTier(posted), start)
 			}
 			return err
 		}
@@ -755,11 +791,21 @@ func (tc *ThreadCache) growOnStreak(cl *tcClass) {
 	}
 }
 
+// freeTier maps a flush's disposition to its telemetry tier: a batch posted
+// to the service mailbox is TierService, the synchronous path TierDepot.
+func freeTier(posted bool) telemetry.Tier {
+	if posted {
+		return telemetry.TierService
+	}
+	return telemetry.TierDepot
+}
+
 // flushClass releases the oldest portion of an over-full class — to the
 // depot in whole spans, to the arenas on depot overflow — keeping the hot
 // top of the stack local. The kept suffix is retained in place (copy-down)
 // instead of reallocated, and flush pressure shrinks the adaptive mark.
-func (tc *ThreadCache) flushClass(t *sim.Thread, cl *tcClass) error {
+// Reports whether the batch went out as a service-mailbox post.
+func (tc *ThreadCache) flushClass(t *sim.Thread, cl *tcClass) (bool, error) {
 	keep := cl.mark / 2
 	n := len(cl.entries) - keep
 	// Release whole spans where possible: a sub-batch remainder stays
@@ -769,7 +815,7 @@ func (tc *ThreadCache) flushClass(t *sim.Thread, cl *tcClass) error {
 	if len(tc.depots) > 0 && n > tc.batch {
 		n -= n % tc.batch
 	}
-	err := tc.release(t, cl.csz, cl.entries[:n])
+	posted, err := tc.releaseOrPost(t, cl.csz, cl.entries[:n], false)
 	copy(cl.entries, cl.entries[n:])
 	cl.entries = cl.entries[:len(cl.entries)-n]
 	if tc.adaptive {
@@ -782,7 +828,18 @@ func (tc *ThreadCache) flushClass(t *sim.Thread, cl *tcClass) error {
 			tc.stats.CacheMarkShrinks++
 		}
 	}
-	return err
+	return posted, err
+}
+
+// releaseOrPost hands victims to the service mailbox when offload is
+// running (remote marks batches of other nodes' memory, which the service
+// routes home instead of recycling), falling back to the synchronous
+// release when the mailbox refuses. Reports whether the post was accepted.
+func (tc *ThreadCache) releaseOrPost(t *sim.Thread, csz uint32, victims []tcEntry, remote bool) (bool, error) {
+	if tc.svc != nil && tc.svc.postEmpty(t, csz, victims, remote) {
+		return true, nil
+	}
+	return false, tc.release(t, csz, victims)
 }
 
 // release returns victims (all of class csz) to the system: spans of up to
@@ -1025,15 +1082,19 @@ func (tc *ThreadCache) Stats() Stats {
 		s.ScavengeEpochs = sc.Epochs
 		s.ScavengeBytes = sc.BytesReleased
 	}
+	if tc.svc != nil {
+		s.SvcParkedChunks, s.SvcParkedBytes = tc.svc.parked()
+	}
 	return s
 }
 
 // ParkedBytes sums the memory parked in every caching tier right now —
-// magazines, depot and the vm reuse cache. Together with the address
-// space's ResidentBytes it is the footprint metric experiment D3 plots.
+// magazines, depot, service mailboxes and the vm reuse cache. Together with
+// the address space's ResidentBytes it is the footprint metric experiment D3
+// plots.
 func (tc *ThreadCache) ParkedBytes() uint64 {
 	s := tc.Stats()
-	return s.CachedBytes + s.DepotBytes + s.MmapReuseParked
+	return s.CachedBytes + s.DepotBytes + s.SvcParkedBytes + s.MmapReuseParked
 }
 
 // Check verifies every arena plus the cache invariants: every parked chunk
@@ -1087,6 +1148,11 @@ func (tc *ThreadCache) Check() error {
 	}
 	for _, depot := range tc.depots {
 		if err := depot.check(seen, owns); err != nil {
+			return err
+		}
+	}
+	if tc.svc != nil {
+		if err := tc.svc.check(seen, owns); err != nil {
 			return err
 		}
 	}

@@ -81,6 +81,14 @@ type Scavenger struct {
 	sources []Source
 	nextAt  sim.Time
 	stats   Stats
+	// driver, when set, is the only thread whose Ticks run passes. Per-thread
+	// clocks in the simulator skew by up to a batch, so two actors sharing the
+	// epoch schedule (an inline Tick and a background thread, say) can each
+	// see the boundary as "due" and run two decay passes less than one
+	// interval apart — double decay. Electing a single driver closes that
+	// hazard; Force is exempt (teardown and emergency reclaim must always
+	// work).
+	driver *sim.Thread
 }
 
 // New creates a scavenger. Interval must be positive; DecayPercent is
@@ -117,6 +125,16 @@ func (s *Scavenger) Stats() Stats { return s.stats }
 // first Tick arms the schedule).
 func (s *Scavenger) NextAt() sim.Time { return s.nextAt }
 
+// SetDriver elects t as the single thread allowed to run scheduled passes:
+// Ticks from every other thread return false without touching the schedule.
+// Passing nil restores the default shared schedule where any thread's Tick
+// may fire. The allocator service thread registers itself here so inline
+// Ticks and leftover background loops cannot double-decay an epoch.
+func (s *Scavenger) SetDriver(t *sim.Thread) { s.driver = t }
+
+// Driver returns the elected driver thread, nil when the schedule is shared.
+func (s *Scavenger) Driver() *sim.Thread { return s.driver }
+
 // Tick runs a pass if the calling thread's clock has reached the next epoch
 // boundary, charging the work to that thread. It reports whether a pass ran.
 // The schedule anchors lazily: the first Tick only arms the first epoch one
@@ -124,6 +142,9 @@ func (s *Scavenger) NextAt() sim.Time { return s.nextAt }
 // not fire a pass on the very first operation. Callers must not hold any
 // simulated lock.
 func (s *Scavenger) Tick(t *sim.Thread) bool {
+	if s.driver != nil && t != s.driver {
+		return false
+	}
 	if s.nextAt == 0 {
 		s.nextAt = t.Now() + s.policy.Interval
 		return false
@@ -172,6 +193,11 @@ func (s *Scavenger) Background(t *sim.Thread, stop func() bool) {
 			t.Sleep(wait)
 			continue // re-check stop before running a pass
 		}
-		s.Tick(t)
+		if !s.Tick(t) && s.nextAt <= t.Now() {
+			// Another thread owns the schedule (SetDriver) and this loop may
+			// never advance nextAt itself; sleep a full interval so the loop
+			// cannot spin at one instant of virtual time.
+			t.Sleep(s.policy.Interval)
+		}
 	}
 }

@@ -143,3 +143,49 @@ func TestBackgroundRunsPassesWhileThreadsIdle(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSingleDriverPreventsDoubleDecay: with a driver elected, a second
+// thread ticking on the same schedule never runs a pass — each epoch decays
+// exactly once — and handing the schedule back (SetDriver(nil)) lets any
+// thread drive again.
+func TestSingleDriverPreventsDoubleDecay(t *testing.T) {
+	m := sim.NewMachine(sim.Config{CPUs: 2, ClockMHz: 100, Seed: 1})
+	err := m.Run(func(th *sim.Thread) {
+		src := &fakeSource{name: "fake", releases: 1}
+		s := New(Policy{Interval: 1000, DecayPercent: 50})
+		s.Register(src)
+		driver := th.Spawn("driver", func(w *sim.Thread) {
+			for i := 0; i < 10; i++ {
+				w.Sleep(1000)
+				s.Tick(w)
+			}
+		})
+		s.SetDriver(driver)
+		if s.Driver() != driver {
+			t.Error("Driver() does not report the elected thread")
+		}
+		// The classic double-decay setup: main ticks every interval too.
+		for i := 0; i < 10; i++ {
+			th.Sleep(1000)
+			if s.Tick(th) {
+				t.Error("non-driver Tick ran a pass")
+			}
+		}
+		th.Join(driver)
+		epochs := s.Stats().Epochs
+		if epochs < 8 || epochs > 11 {
+			t.Errorf("epochs = %d over ~10 intervals with two tickers, want one pass per interval", epochs)
+		}
+		if src.calls != int(epochs) {
+			t.Errorf("source swept %d times over %d epochs, want equal", src.calls, epochs)
+		}
+		s.SetDriver(nil)
+		th.Sleep(1000)
+		if !s.Tick(th) {
+			t.Error("Tick refused after the schedule was handed back")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -59,6 +59,19 @@ type Costs struct {
 	// CASMaxRetries caps the retries charged to one successful CAS; zero
 	// means 8. Negative disables the cap.
 	CASMaxRetries int
+
+	// MailboxPost is the cost of publishing or claiming one message on a
+	// service-thread mailbox: an atomic slot reservation plus the store that
+	// makes the payload visible. Zero means 2*MutexAtomic. The cache-line
+	// transfers for the payload itself are priced separately from the cache
+	// model by the caller.
+	MailboxPost Time
+	// MailboxWake is the cost a service thread pays when its epoch poll
+	// finds posted work: pulling the mailbox lines onto its core and coming
+	// off the timer sleep (cheaper than a full context switch — posters
+	// never signal anything in the polling design). Zero means
+	// ContextSwitch/4.
+	MailboxWake Time
 }
 
 // DefaultCosts returns a reasonable late-1990s SMP cost model. Profiles in
@@ -128,6 +141,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Costs.CASMaxRetries == 0 {
 		c.Costs.CASMaxRetries = 8
+	}
+	// Mailbox defaults are likewise per field so pre-existing profile Costs
+	// pick them up unchanged.
+	if c.Costs.MailboxPost == 0 {
+		c.Costs.MailboxPost = 2 * c.Costs.MutexAtomic
+	}
+	if c.Costs.MailboxWake == 0 {
+		c.Costs.MailboxWake = c.Costs.ContextSwitch / 4
 	}
 	if c.BatchOps == 0 {
 		c.BatchOps = 256
@@ -275,6 +296,7 @@ func (m *Machine) newThread(parent *Thread, name string, body func(*Thread)) *Th
 		resume:  make(chan struct{}),
 		body:    body,
 		lastCPU: -1,
+		pin:     -1,
 		rng:     xrand.New(m.cfg.Seed, uint64(len(m.threads))+1),
 	}
 	if parent != nil {
@@ -373,6 +395,11 @@ func (m *Machine) dispatch(t *Thread) {
 // favour of the CPU that has been idle longest so threads spread across the
 // machine instead of stacking on CPU 0.
 func (m *Machine) pickCPU(t *Thread) int {
+	if t.pin >= 0 {
+		// Pinned threads never migrate: dispatch waits for the pinned CPU to
+		// free instead of looking for an earlier slot elsewhere.
+		return t.pin
+	}
 	if t.lastCPU >= 0 && m.cpus[t.lastCPU].freeAt <= t.clock {
 		return t.lastCPU
 	}

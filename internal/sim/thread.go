@@ -38,8 +38,11 @@ type Thread struct {
 	body func(*Thread)
 	rng  *xrand.RNG
 
-	// CPU bookkeeping.
+	// CPU bookkeeping. pin >= 0 binds the thread to that CPU: the scheduler
+	// always dispatches it there, waiting for the CPU to free instead of
+	// migrating (sched_setaffinity to a single CPU).
 	lastCPU int
+	pin     int
 
 	// Batch/yield bookkeeping.
 	opsSinceYield int
@@ -87,6 +90,24 @@ func (t *Thread) Node() int { return t.machine.NodeOfCPU(t.lastCPU) }
 
 // RNG returns the thread's private deterministic random stream.
 func (t *Thread) RNG() *xrand.RNG { return t.rng }
+
+// Pin binds the thread to one CPU (sched_setaffinity with a single-CPU
+// mask): every future dispatch places it there, waiting for the CPU to free
+// rather than migrating. A negative cpu clears the binding. Out-of-range
+// CPUs are a programming error. The allocator service threads use this to
+// own one core per node.
+func (t *Thread) Pin(cpu int) {
+	if cpu >= t.machine.cfg.CPUs {
+		panic(fmt.Sprintf("sim: pinning thread %q to CPU %d of %d", t.Name, cpu, t.machine.cfg.CPUs))
+	}
+	if cpu < 0 {
+		cpu = -1
+	}
+	t.pin = cpu
+}
+
+// PinnedCPU returns the CPU the thread is pinned to, -1 when unpinned.
+func (t *Thread) PinnedCPU() int { return t.pin }
 
 // Charge advances the thread's clock by the given number of cycles,
 // representing CPU work. Negative charges are a programming error.

@@ -19,6 +19,8 @@
 //	arena      — carved from / returned to an arena under its lock
 //	vm         — mmap-direct path or any op whose chunk came from a syscall
 //	emergency  — op completed (or failed) via the OOM emergency cascade
+//	service    — handled through the per-node allocator service thread
+//	             (mailbox swaps and the work the service thread does itself)
 package telemetry
 
 import (
@@ -40,10 +42,11 @@ const (
 	TierArena
 	TierVM
 	TierEmergency
+	TierService
 	numTiers
 )
 
-var tierNames = [numTiers]string{"magazine", "depot", "arena", "vm", "emergency"}
+var tierNames = [numTiers]string{"magazine", "depot", "arena", "vm", "emergency", "service"}
 
 func (t Tier) String() string {
 	if t >= 0 && t < numTiers {
@@ -58,10 +61,14 @@ type OpKind int
 const (
 	OpMalloc OpKind = iota
 	OpFree
+	// OpMailbox times service-thread mailbox work: a drained batch of posted
+	// spans or a prefetched refill, recorded on the service thread. Keeping
+	// it a distinct kind keeps malloc/free totals pure app-thread time.
+	OpMailbox
 	numOps
 )
 
-var opNames = [numOps]string{"malloc", "free"}
+var opNames = [numOps]string{"malloc", "free", "mailbox"}
 
 func (k OpKind) String() string {
 	if k >= 0 && k < numOps {
@@ -294,11 +301,13 @@ type TierSummary struct {
 // attribution, and the sampled time series. Building it is deterministic —
 // map walks are sorted, and every number derives from virtual time.
 type Report struct {
-	ClockMHz          float64        `json:"clock_mhz"`
-	MallocOps         uint64         `json:"malloc_ops"`
-	FreeOps           uint64         `json:"free_ops"`
-	TotalMallocCycles uint64         `json:"total_malloc_cycles"`
-	TotalFreeCycles   uint64         `json:"total_free_cycles"`
+	ClockMHz           float64        `json:"clock_mhz"`
+	MallocOps          uint64         `json:"malloc_ops"`
+	FreeOps            uint64         `json:"free_ops"`
+	MailboxOps         uint64         `json:"mailbox_ops,omitempty"`
+	TotalMallocCycles  uint64         `json:"total_malloc_cycles"`
+	TotalFreeCycles    uint64         `json:"total_free_cycles"`
+	TotalMailboxCycles uint64         `json:"total_mailbox_cycles,omitempty"`
 	Latency           []ClassLatency `json:"latency"`
 	Tiers             []TierSummary  `json:"tiers"`
 	Samples           []Sample       `json:"samples"`
@@ -335,15 +344,16 @@ func (r *Recorder) Report() Report {
 	for op := OpKind(0); op < numOps; op++ {
 		for tier := Tier(0); tier < numTiers; tier++ {
 			ops, cyc := r.tierOps[op][tier], r.tierCycles[op][tier]
-			if op == OpMalloc {
+			switch op {
+			case OpMalloc:
 				rep.TotalMallocCycles += cyc
-			} else {
-				rep.TotalFreeCycles += cyc
-			}
-			if op == OpMalloc {
 				rep.MallocOps += ops
-			} else {
+			case OpFree:
+				rep.TotalFreeCycles += cyc
 				rep.FreeOps += ops
+			case OpMailbox:
+				rep.TotalMailboxCycles += cyc
+				rep.MailboxOps += ops
 			}
 			if ops == 0 && cyc == 0 {
 				continue
