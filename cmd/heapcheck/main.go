@@ -42,6 +42,7 @@ func main() {
 	binnedRelease := flag.Bool("binned-release", false, "enable the PageHeap-style binned-chunk page release with no resident pad (implies -scavenge 50000 when -scavenge is 0): tortures interior releases against the churn")
 	nodes := flag.Int("nodes", 0, "override the profile's NUMA node count (0 keeps it): tortures node-sharded placement and cross-node free routing")
 	offload := flag.Bool("offload", false, "run per-node allocator service threads (mailbox refill/flush/scavenge offload): tortures the asynchronous span exchange against the churn")
+	lineAware := flag.Bool("lineaware", false, "enable line-aware placement (line-quantized carving + span coloring): tortures the no-shared-line invariant Check() enforces against the churn")
 	memLimit := flag.Uint64("memlimit", 0, "absolute commit limit in bytes (0 off): tortures the emergency reclamation cascade")
 	memLimitRatio := flag.Float64("memlimit-ratio", 0, "commit limit as a fraction of the unlimited run's peak committed bytes (0 off; measures peak with a first pass per seed)")
 	faultRate := flag.Float64("faultrate", 0, "probability of an injected mmap/sbrk failure per growth attempt (0 off; deterministic per seed)")
@@ -66,6 +67,7 @@ func main() {
 			prof: prof, kind: malloc.Kind(*allocator),
 			threads: *threads, ops: *ops, maxSize: *maxSize, checkEvery: *checkEvery,
 			scavenge: *scavenge, binnedRelease: *binnedRelease, offload: *offload,
+			lineAware: *lineAware,
 			memLimit: *memLimit, faultRate: *faultRate, seed: uint64(seed),
 			telemetry: *telemetryOn,
 		}
@@ -102,6 +104,7 @@ type tortureConfig struct {
 	scavenge                          int64
 	binnedRelease                     bool
 	offload                           bool
+	lineAware                         bool
 	memLimit                          uint64
 	faultRate                         float64
 	seed                              uint64
@@ -147,7 +150,7 @@ func printTelemetry(rec *telemetry.Recorder) {
 
 func torture(cfg tortureConfig) (tortureResult, error) {
 	opts := []bench.WorldOption{bench.WithAllocator(cfg.kind)}
-	if cfg.scavenge > 0 || cfg.offload {
+	if cfg.scavenge > 0 || cfg.offload || cfg.lineAware {
 		// Designs without a scavenger or service engine simply ignore the
 		// knobs, so one flag set tortures all kinds uniformly.
 		costs := cfg.prof.AllocCosts
@@ -161,6 +164,7 @@ func torture(cfg tortureConfig) (tortureResult, error) {
 			costs.ScavengeBinPad = -1
 		}
 		costs.Offload = cfg.offload
+		costs.LineAware = cfg.lineAware
 		opts = append(opts, bench.WithAllocCosts(costs))
 	}
 	w := bench.NewWorld(cfg.prof, cfg.seed, opts...)

@@ -13,6 +13,7 @@
 //	mallocbench -bench d4 -scale 1 -json BENCH_D4.json
 //	mallocbench -bench d5 -scale 1 -json BENCH_D5.json
 //	mallocbench -bench d6 -scale 1 -json BENCH_D6.json
+//	mallocbench -bench d9 -scale 1 -json BENCH_D9.json
 //	mallocbench -bench d10 -scale 1 -json BENCH_D10.json
 package main
 
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson, d2 (mid-tier ablation), d3 (footprint phase-shift), d4 (NUMA locality), d5 (contention scaling), d6 (memory-pressure degradation) or d10 (service-thread offload)")
+	which := flag.String("bench", "1", "benchmark: 1, 2, 3, larson, d2 (mid-tier ablation), d3 (footprint phase-shift), d4 (NUMA locality), d5 (contention scaling), d6 (memory-pressure degradation), d9 (line-aware placement) or d10 (service-thread offload)")
 	profileName := flag.String("profile", "quad-xeon-500", "machine profile")
 	threads := flag.Int("threads", 2, "worker threads")
 	processes := flag.Bool("processes", false, "benchmark 1: one process per worker")
@@ -91,7 +92,7 @@ func main() {
 	case "3":
 		res, err := bench.RunBench3(bench.B3Config{
 			Profile: prof, Threads: *threads, Size: uint32(*size), Writes: *writes,
-			Aligned: *aligned, Runs: *runs, Seed: *seed,
+			Aligned: *aligned, Allocator: kind, Runs: *runs, Seed: *seed,
 		})
 		if err != nil {
 			fatal(err)
@@ -163,6 +164,12 @@ func main() {
 			fatal(err)
 		}
 		tab = res
+	case "d9":
+		res, err := bench.ExpPlacement(bench.Options{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		tab = res
 	case "d10":
 		res, err := bench.ExpServiceOffload(bench.Options{Scale: *scale, Seed: *seed})
 		if err != nil {
@@ -170,7 +177,7 @@ func main() {
 		}
 		tab = res
 	default:
-		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson, d2, d3, d4, d5, d6 or d10)", *which))
+		fatal(fmt.Errorf("unknown -bench %q (want 1, 2, 3, larson, d2, d3, d4, d5, d6, d9 or d10)", *which))
 	}
 
 	if *jsonPath != "" {

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"mtmalloc/internal/malloc"
 	"mtmalloc/internal/sim"
 	"mtmalloc/internal/stats"
 	"mtmalloc/internal/vm"
@@ -13,14 +14,23 @@ import (
 // byte at its front and back Writes times. Aligned uses the cache-aligned
 // allocator variant; normal uses default 8-byte alignment, so neighbouring
 // objects can share cache lines and ping-pong between CPUs.
+//
+// Allocator, when set, overrides the profile's default design so the
+// benchmark exercises that design's real placement (magazine refills, depot
+// spans, buddy carving) instead of only the main arena's; Costs additionally
+// overrides the allocator cost params (how D9 switches LineAware on). The
+// write loop itself still advances analytically from the resulting sharing
+// topology — the placement is real, the 100M iterations are not replayed.
 type B3Config struct {
-	Profile Profile
-	Threads int
-	Size    uint32
-	Writes  int64
-	Aligned bool
-	Runs    int
-	Seed    uint64
+	Profile   Profile
+	Threads   int
+	Size      uint32
+	Writes    int64
+	Aligned   bool
+	Allocator malloc.Kind
+	Costs     *malloc.CostParams
+	Runs      int
+	Seed      uint64
 }
 
 // DefaultB3 fills the paper's constants (100 M writes).
@@ -71,7 +81,14 @@ func runBench3Once(cfg B3Config, seed uint64) (B3Run, error) {
 	if cfg.Aligned {
 		prof.HeapParams.Align = uint32(1) << prof.LineShift
 	}
-	w := NewWorld(prof, seed)
+	var opts []WorldOption
+	if cfg.Allocator != "" {
+		opts = append(opts, WithAllocator(cfg.Allocator))
+	}
+	if cfg.Costs != nil {
+		opts = append(opts, WithAllocCosts(*cfg.Costs))
+	}
+	w := NewWorld(prof, seed, opts...)
 	var out B3Run
 	err := w.Run(func(main *sim.Thread) {
 		inst, err := w.AddInstance(main)

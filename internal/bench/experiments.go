@@ -70,6 +70,7 @@ func All() []Experiment {
 		{"D4", "NUMA locality: node-blind vs node-sharded placement, 1/2/4-node hosts", "node-sharded placement cuts remote-access charges >= 50% vs node-blind on Larson at 8 threads, 4 nodes", ExpLocality},
 		{"D5", "Contention scaling: five designs, Larson at 8-64 threads, 64-CPU 4-node host", "lockfree keeps scaling where the lock-based designs flatline, with zero arena/depot lock acquisitions — contention priced purely as CAS retries", ExpScaling},
 		{"D6", "Graceful degradation under memory pressure: commit limit ratcheting toward peak live bytes, five designs", "at 1.25x peak every design completes with zero OOM failures (the emergency cascade absorbs the pressure); below 1.0x throughput degrades gracefully until the hard floor", ExpPressure},
+		{"D9", "Cache-line-aware placement: blind vs line-quantized+colored carving, producer-consumer handoff at 2-16 threads", "line-aware placement cuts producer-consumer cache-to-cache transfer cycles >= 40% at >= 0.95x blind throughput and <= 15% added resident bytes; Check() holds the no-shared-line invariant over live magazines", ExpPlacement},
 		{"D10", "Service-thread offload: inline vs per-node mailbox refill/flush/scavenge, Larson 8-64 threads + D3 phase workload", "offloaded threadcache cuts app-thread cycles inside malloc >= 25% at >= 8 threads at >= 0.95x throughput; the service epoch loop is the only cascade driver", ExpServiceOffload},
 	}
 }

@@ -32,6 +32,13 @@ type lfBackend struct {
 	// walk, priced at TSDRead scale by the caller).
 	pageSpan map[uint64]*lfSpan
 
+	// Line-aware span coloring (CostParams.LineAware): each carving thread
+	// rotates fresh spans' first-chunk origin through lfSpanColors line-size
+	// strides; colorSeq is the per-thread position on the wheel.
+	lineAware bool
+	lineSize  uint64
+	colorSeq  map[int]int
+
 	stats *Stats
 }
 
@@ -49,16 +56,27 @@ type lfNode struct {
 // live counts chunks currently out of the span (in user hands, magazines or
 // depots) — the invariant live + len(freeList) == carved always holds, and
 // live hitting zero frees the whole block back to the buddy.
+//
+// blockBase is the buddy block's start; base is the first-chunk origin. They
+// differ only under line-aware coloring, which rotates base forward by a
+// per-thread number of line strides so the hot head chunks of different
+// threads' spans don't land in the same cache index sets.
 type lfSpan struct {
-	base     uint64
-	pages    int
-	csz      uint32
-	node     int
-	chunks   int
-	carved   int
-	freeList []uint64
-	live     int
+	blockBase uint64
+	base      uint64
+	pages     int
+	csz       uint32
+	node      int
+	chunks    int
+	carved    int
+	freeList  []uint64
+	live      int
 }
+
+// lfSpanColors is the color wheel size: head offsets cycle through this many
+// line-size strides. Eight lines covers a 256B-aligned index spread at the
+// profiles' 32B lines while bounding the per-span waste to 7 lines.
+const lfSpanColors = 8
 
 func (sp *lfSpan) avail() int { return len(sp.freeList) + (sp.chunks - sp.carved) }
 
@@ -69,6 +87,9 @@ func newLFBackend(name string, as *vm.AddressSpace, shards []*poolShard, costs C
 		carveWork:  costs.BuddyCarveWork,
 		returnWork: costs.BuddyReturnWork,
 		pageSpan:   make(map[uint64]*lfSpan),
+		lineAware:  costs.LineAware,
+		lineSize:   as.LineSize(),
+		colorSeq:   make(map[int]int),
 		stats:      stats,
 	}
 	for _, sh := range shards {
@@ -163,11 +184,28 @@ func (be *lfBackend) newSpan(t *sim.Thread, nd *lfNode, csz uint32, batch int) (
 		return nil, fmt.Errorf("malloc: buddy refill (%d pages for class %d): %w", pages, csz, err)
 	}
 	sp := &lfSpan{
-		base:   addr,
-		pages:  pages,
-		csz:    csz,
-		node:   nd.node,
-		chunks: int(uint64(pages) * vm.PageSize / uint64(csz)),
+		blockBase: addr,
+		base:      addr,
+		pages:     pages,
+		csz:       csz,
+		node:      nd.node,
+		chunks:    int(uint64(pages) * vm.PageSize / uint64(csz)),
+	}
+	if be.lineAware {
+		// Color the span: skip a per-thread rotating number of lines before
+		// the first chunk. Buddy blocks are page-aligned, so without this
+		// every thread's hot head chunk maps to the same index sets.
+		seq := be.colorSeq[t.ID()]
+		be.colorSeq[t.ID()] = seq + 1
+		off := uint64((t.ID()+seq)%lfSpanColors) * be.lineSize
+		if off > 0 && uint64(sp.pages)*vm.PageSize-off >= uint64(csz) {
+			sp.base = addr + off
+			sp.chunks = int((uint64(sp.pages)*vm.PageSize - off) / uint64(csz))
+			if be.stats != nil {
+				be.stats.LineColorBytes += off
+				be.stats.LineColorSpans++
+			}
+		}
 	}
 	for p := 0; p < pages; p++ {
 		be.pageSpan[addr/vm.PageSize+uint64(p)] = sp
@@ -229,9 +267,13 @@ func (be *lfBackend) returnChunk(t *sim.Thread, mem uint64) error {
 		}
 	}
 	for p := 0; p < sp.pages; p++ {
-		delete(be.pageSpan, sp.base/vm.PageSize+uint64(p))
+		delete(be.pageSpan, sp.blockBase/vm.PageSize+uint64(p))
 	}
-	return nd.buddy.Free(t, sp.base, sp.pages)
+	if sp.base != sp.blockBase && be.stats != nil {
+		be.stats.LineColorBytes -= sp.base - sp.blockBase
+		be.stats.LineColorSpans--
+	}
+	return nd.buddy.Free(t, sp.blockBase, sp.pages)
 }
 
 // takeReturns filters buddy-backed victims out of a flush batch, returning
@@ -311,7 +353,7 @@ func (be *lfBackend) check() error {
 					sp.base, sp.live, len(sp.freeList), sp.carved)
 			}
 			for _, mem := range sp.freeList {
-				if mem < sp.base || mem >= sp.base+uint64(sp.pages)*vm.PageSize {
+				if mem < sp.base || mem >= sp.blockBase+uint64(sp.pages)*vm.PageSize {
 					return fmt.Errorf("malloc: span 0x%x free list holds foreign 0x%x", sp.base, mem)
 				}
 			}

@@ -253,6 +253,22 @@ type CostParams struct {
 	BuddyCarveWork  int64
 	BuddyReturnWork int64
 
+	// LineAware makes placement cache-line-aware, the experiment D9 dimension.
+	// Chunk sizes are quantized up to cache-line multiples (heap.Params.Align
+	// is raised to the vm cache model's line size), so a chunk carved by any
+	// arena or by the buddy backend owns its payload lines outright and two
+	// magazines never split a line — through every tier, because magazines,
+	// depots and the service shelf exchange chunks whole. Buddy-backed spans
+	// additionally get a per-magazine color offset (the first-chunk origin
+	// rotates by line-size strides per carving thread) so hot head chunks of
+	// different threads' spans don't collide in the same cache index sets.
+	// The price is internal fragmentation, reported honestly in
+	// Stats.LineQuantBytes (cumulative quantization overhead) and
+	// Stats.LineColorBytes (bytes currently lost to color offsets). Off by
+	// default: placement, charge sequences and the D1-D6/D10 goldens are
+	// bit-identical.
+	LineAware bool
+
 	// CacheRehome re-homes a thread's magazine when the scheduler migrates it
 	// to another NUMA node: on the first operation that observes the node
 	// change, chunks owned by other nodes are released home and the home
@@ -462,6 +478,23 @@ type Stats struct {
 	PeakCommitted  uint64 // high-water mark of CommittedBytes
 	CommitFails    uint64 // grows/commits refused by the limit
 	InjectedFaults uint64 // grows refused by fault injection instead
+	// Line-aware placement counters (CostParams.LineAware; all zero blind).
+	// LineQuantBytes is the cumulative internal fragmentation added by
+	// rounding chunk sizes to line multiples — the memory half of the D9
+	// tradeoff. The color fields are gauges over live colored spans.
+	LineQuantBytes uint64 // extra bytes per malloc from line quantization (cumulative)
+	LineColorBytes uint64 // bytes currently sacrificed to span color offsets
+	LineColorSpans uint64 // buddy spans currently carrying a color offset
+	// Cache fill-class mirrors from the address space: every data access
+	// split by where the line came from. FillC2C — lines supplied dirty by
+	// another CPU — is the coherence-transfer currency experiment D9
+	// compares placements in.
+	FillLocal        uint64 // hits and upgrades: no data moved
+	FillLocalCycles  uint64
+	FillRemote       uint64 // misses served from memory (cold or clean)
+	FillRemoteCycles uint64
+	FillC2C          uint64 // cache-to-cache transfers from another CPU's dirty copy
+	FillC2CCycles    uint64
 	ArenaCount     int
 	Heap           heap.Stats // summed over arenas
 }
@@ -505,6 +538,13 @@ type base struct {
 	arenas   []*heap.Arena
 	listLock *sim.Mutex
 
+	// Line-aware placement (CostParams.LineAware): lineAware records that
+	// newBase raised params.Align to the cache line size; quantBase keeps
+	// the pre-raise params so noteQuant can price what the raise costs each
+	// allocation.
+	lineAware bool
+	quantBase heap.Params
+
 	attached map[int]bool
 	active   int
 
@@ -536,6 +576,18 @@ func newBase(t *sim.Thread, name string, as *vm.AddressSpace, params heap.Params
 		listLock:  as.Machine().NewMutex(name + ".list"),
 		attached:  make(map[int]bool),
 		lastArena: make(map[int]*heap.Arena),
+	}
+	if costs.LineAware {
+		// Line-quantized carving: raising Align to the line size makes
+		// Request2Size round every class to a line multiple and the arenas
+		// line-align the first chunk, so every chunk boundary — arena- or
+		// buddy-carved — lands on a line boundary. quantBase keeps the blind
+		// params so the overhead is priced per allocation.
+		b.quantBase = b.params
+		if ls := uint32(as.LineSize()); b.params.Align < ls {
+			b.params.Align = ls
+		}
+		b.lineAware = true
 	}
 	if costs.MmapReuseCap > 0 {
 		as.SetMmapReuse(uint64(costs.MmapReuseCap), costs.MmapReuseWork)
@@ -665,6 +717,21 @@ func mirrorVMStats(s *Stats, vs vm.Stats) {
 	s.PeakCommitted = vs.PeakCommitted
 	s.CommitFails = vs.CommitFails
 	s.InjectedFaults = vs.InjectedFaults
+	s.FillLocal = vs.FillLocal
+	s.FillLocalCycles = vs.FillLocalCycles
+	s.FillRemote = vs.FillRemote
+	s.FillRemoteCycles = vs.FillRemoteCycles
+	s.FillC2C = vs.FillC2C
+	s.FillC2CCycles = vs.FillC2CCycles
+}
+
+// noteQuant records the internal fragmentation one allocation pays for line
+// quantization: the chunk-size delta between the line-aware params and the
+// blind params the design would otherwise run. No-op when LineAware is off.
+func (b *base) noteQuant(size uint32) {
+	if b.lineAware {
+		b.stats.LineQuantBytes += uint64(b.params.Request2Size(size) - b.quantBase.Request2Size(size))
+	}
 }
 
 // reallocOn implements realloc for a variant: al provides the Malloc/Free

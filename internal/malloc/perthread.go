@@ -63,6 +63,7 @@ func (p *PerThread) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 		}
 		return mem, err
 	}
+	p.noteQuant(size)
 	mem, err := p.mallocArena(t, size)
 	if err == nil {
 		p.telOp(t, telemetry.OpMalloc, p.params.Request2Size(size), telemetry.TierArena, start)

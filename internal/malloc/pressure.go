@@ -297,6 +297,15 @@ func (r *resilient) ParkedBytes() uint64 {
 	return 0
 }
 
+// SharedMagazineLines forwards the line-aware placement probe (designs
+// without magazines report zero: nothing is parked, nothing can share).
+func (r *resilient) SharedMagazineLines() int {
+	if p, ok := r.Allocator.(interface{ SharedMagazineLines() int }); ok {
+		return p.SharedMagazineLines()
+	}
+	return 0
+}
+
 func (r *resilient) Scavenger() *scavenge.Scavenger {
 	if p, ok := r.Allocator.(interface{ Scavenger() *scavenge.Scavenger }); ok {
 		return p.Scavenger()

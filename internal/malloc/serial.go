@@ -39,6 +39,7 @@ func (s *Serial) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 		}
 		return p, err
 	}
+	s.noteQuant(size)
 	t.Lock(main.Lock)
 	t.Charge(sim.Time(s.costs.WorkMalloc))
 	p, err := main.Malloc(t, size)

@@ -475,6 +475,7 @@ func (tc *ThreadCache) Malloc(t *sim.Thread, size uint32) (uint64, error) {
 		}
 		return mem, err
 	}
+	tc.noteQuant(size)
 	c := tc.cacheOf(t)
 	sz := tc.params.Request2Size(size)
 	if sz <= tc.maxBlock {
@@ -1161,7 +1162,41 @@ func (tc *ThreadCache) Check() error {
 			return err
 		}
 	}
+	if tc.costs.LineAware {
+		if n := tc.SharedMagazineLines(); n > 0 {
+			return fmt.Errorf("malloc: line-aware invariant broken: %d cache lines split across magazines", n)
+		}
+	}
 	return nil
+}
+
+// SharedMagazineLines counts cache lines currently split between two or more
+// live magazines: lines some part of which is parked in one thread's magazine
+// while another part is parked in a different thread's. Each such line is a
+// standing false-sharing hazard — both threads will eventually hand their
+// halves to their own callers, and writes then ping-pong the line. Under
+// CostParams.LineAware the count is zero by construction (Check enforces it);
+// blind it measures how badly sub-line carving interleaved the magazines.
+func (tc *ThreadCache) SharedMagazineLines() int {
+	line := tc.as.LineSize()
+	owner := make(map[uint64]int)
+	shared := make(map[uint64]bool)
+	for tid, c := range tc.caches {
+		for _, cl := range c.classes {
+			for _, e := range cl.entries {
+				for l := e.mem / line; l <= (e.mem+uint64(cl.csz)-1)/line; l++ {
+					if o, ok := owner[l]; ok {
+						if o != tid {
+							shared[l] = true
+						}
+					} else {
+						owner[l] = tid
+					}
+				}
+			}
+		}
+	}
+	return len(shared)
 }
 
 var _ Allocator = (*ThreadCache)(nil)

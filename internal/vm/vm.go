@@ -165,6 +165,16 @@ type Stats struct {
 	RemoteAccessCycles uint64 // extra cycles those events paid over the local cost
 	RemoteFaults       uint64 // subset of RemoteAccesses that were first-touch faults or refaults
 	ReuseRemoteHands   uint64 // reuse-cache regions handed to a thread on another node
+	// Cache fill-class counters: every data access the cache model classifies,
+	// split by where the line came from. FillC2C — lines supplied dirty by
+	// another CPU — is the coherence-transfer currency experiment D9 compares
+	// placements in; reading it directly beats diffing raw cycle totals.
+	FillLocal        uint64 // hits and upgrades: no data moved
+	FillLocalCycles  uint64
+	FillRemote       uint64 // misses served from memory (cold or clean)
+	FillRemoteCycles uint64
+	FillC2C          uint64 // cache-to-cache transfers from another CPU's dirty copy
+	FillC2CCycles    uint64
 	// NodeResidentBytes is the resident footprint broken down by home node
 	// (nil on a 1-node machine, where ResidentBytes is the whole story).
 	NodeResidentBytes []uint64
@@ -1085,13 +1095,22 @@ func (as *AddressSpace) page(t *sim.Thread, addr uint64, op string) []byte {
 // local rate — no data moved.
 func (as *AddressSpace) charge(t *sim.Thread, addr uint64, write bool) {
 	c, fill, from := as.cache.AccessFill(t.CPU(), as.cache.Key(as.ID, addr), write)
-	if as.numaOn {
-		switch fill {
-		case cache.FillMemory:
+	switch fill {
+	case cache.FillNone:
+		as.stats.FillLocal++
+		as.stats.FillLocalCycles += uint64(c)
+	case cache.FillMemory:
+		as.stats.FillRemote++
+		as.stats.FillRemoteCycles += uint64(c)
+		if as.numaOn {
 			if home, ok := as.pageNode[addr/PageSize]; ok && int(home) != t.Node() {
 				as.chargeRemote(t, c, false)
 			}
-		case cache.FillCache:
+		}
+	case cache.FillCache:
+		as.stats.FillC2C++
+		as.stats.FillC2CCycles += uint64(c)
+		if as.numaOn {
 			if as.mach.NodeOfCPU(from) != t.Node() {
 				as.chargeRemote(t, c, false)
 			}
@@ -1099,6 +1118,10 @@ func (as *AddressSpace) charge(t *sim.Thread, addr uint64, write bool) {
 	}
 	t.Charge(sim.Time(c))
 }
+
+// LineSize reports the cache model's line size in bytes — the quantum
+// line-aware allocator placement (malloc.CostParams.LineAware) rounds to.
+func (as *AddressSpace) LineSize() uint64 { return as.cache.LineSize() }
 
 // Read32 loads a little-endian uint32.
 func (as *AddressSpace) Read32(t *sim.Thread, addr uint64) uint32 {
